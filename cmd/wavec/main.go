@@ -1,0 +1,64 @@
+// Command wavec compiles wsl source files to WaveScalar dataflow assembly.
+//
+// Usage:
+//
+//	wavec [-unroll N] [-select] [-noopt] [-stats] file.wsl
+//
+// The assembly is written to standard output; -stats prints a per-function
+// summary (instruction counts, waves, memory ops) to standard error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wavescalar"
+)
+
+func main() {
+	unroll := flag.Int("unroll", 4, "loop unrolling factor (1 disables)")
+	useSelect := flag.Bool("select", false, "lower small diamonds to φ SELECT instead of steers")
+	noopt := flag.Bool("noopt", false, "disable the IR optimizer")
+	showStats := flag.Bool("stats", false, "print compilation statistics to stderr")
+	dotFunc := flag.String("dot", "", "emit a GraphViz graph of the named function ('main' for the entry) instead of assembly")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wavec [flags] file.wsl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := wavescalar.CompileConfig{
+		Unroll:    *unroll,
+		UseSelect: *useSelect,
+		Optimize:  !*noopt,
+	}
+	prog, err := wavescalar.Compile(string(src), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *dotFunc != "" {
+		dot, err := prog.ExportDot(*dotFunc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(dot)
+	} else {
+		fmt.Print(prog.Disassemble())
+	}
+	if *showStats {
+		fmt.Fprintf(os.Stderr, "static dataflow instructions: %d\n", prog.StaticInstructions())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wavec:", err)
+	os.Exit(1)
+}

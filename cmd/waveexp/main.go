@@ -1,0 +1,93 @@
+// Command waveexp regenerates the reconstructed MICRO 2003 evaluation:
+// every experiment table (E1–E11) over the benchmark suite. Results go to
+// standard output (or -out file); see EXPERIMENTS.md for the accompanying
+// paper-vs-measured discussion.
+//
+// Usage:
+//
+//	waveexp [-experiments E1,E4] [-benches fft,lu] [-grid 4x4] [-out results.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"wavescalar/internal/harness"
+	"wavescalar/internal/workloads"
+)
+
+func main() {
+	exps := flag.String("experiments", "", "comma-separated experiment IDs (default: all)")
+	benches := flag.String("benches", "", "comma-separated workloads (default: all; available: "+strings.Join(workloads.Names(), ",")+")")
+	grid := flag.String("grid", "4x4", "cluster grid, WxH")
+	outPath := flag.String("out", "", "write results to this file instead of stdout")
+	unroll := flag.Int("unroll", 4, "loop unrolling factor")
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	copts := harness.DefaultCompileOptions()
+	copts.Unroll = *unroll
+	start := time.Now()
+	fmt.Fprintf(out, "compiling %d workloads...\n", len(pick(names)))
+	set, err := harness.Suite(names, copts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(out, "compiled in %v\n", time.Since(start).Round(time.Millisecond))
+
+	m := harness.DefaultMachineOptions()
+	if _, err := fmt.Sscanf(*grid, "%dx%d", &m.GridW, &m.GridH); err != nil {
+		fatal(fmt.Errorf("bad -grid %q: %v", *grid, err))
+	}
+
+	if *exps == "" {
+		if err := harness.RunAll(set, m, out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			e := harness.ExperimentByID(strings.TrimSpace(id))
+			if e == nil {
+				fatal(fmt.Errorf("unknown experiment %q", id))
+			}
+			fmt.Fprintf(out, "\n## %s — %s\n\nPaper claim: %s\n\n", e.ID, e.Title, e.Claim)
+			t0 := time.Now()
+			tbl, err := e.Run(set, m)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(out, tbl.Render())
+			fmt.Fprintf(out, "(%s in %v)\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	fmt.Fprintf(out, "\ntotal time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func pick(names []string) []string {
+	if len(names) == 0 {
+		return workloads.Names()
+	}
+	return names
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "waveexp:", err)
+	os.Exit(1)
+}

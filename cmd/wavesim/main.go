@@ -1,0 +1,92 @@
+// Command wavesim runs a wsl program on the cycle-level WaveCache simulator
+// and optionally on the out-of-order superscalar baseline for comparison.
+//
+// Usage:
+//
+//	wavesim [-grid 4x4] [-placement dynamic-depth-first-snake]
+//	        [-memmode wave-ordered] [-density 16] [-queue 64]
+//	        [-baseline] file.wsl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wavescalar"
+)
+
+func main() {
+	grid := flag.String("grid", "4x4", "cluster grid, WxH")
+	pol := flag.String("placement", "dynamic-depth-first-snake",
+		"placement policy: "+strings.Join(wavescalar.PlacementPolicies(), ", "))
+	memmode := flag.String("memmode", "wave-ordered", "memory ordering: wave-ordered, serialized, ideal")
+	density := flag.Int("density", 16, "instruction homes packed per PE")
+	queue := flag.Int("queue", 64, "PE matching-table capacity")
+	unroll := flag.Int("unroll", 4, "loop unrolling factor")
+	baseline := flag.Bool("baseline", false, "also run the superscalar baseline and report speedup")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wavesim [flags] file.wsl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var w, h int
+	if _, err := fmt.Sscanf(*grid, "%dx%d", &w, &h); err != nil {
+		fatal(fmt.Errorf("bad -grid %q: %v", *grid, err))
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := wavescalar.Compile(string(src), wavescalar.CompileConfig{Unroll: *unroll, Optimize: true})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := prog.Simulate(wavescalar.SimConfig{
+		GridW: w, GridH: h,
+		Placement:  *pol,
+		Density:    *density,
+		InputQueue: *queue,
+		MemoryMode: *memmode,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("result:             %d\n", res.Value)
+	fmt.Printf("cycles:             %d\n", res.Cycles)
+	fmt.Printf("fired instructions: %d (IPC %.3f)\n", res.Fired, res.IPC)
+	fmt.Printf("operand tokens:     %d\n", res.Tokens)
+	fmt.Printf("PEs used:           %d\n", res.PEsUsed)
+	fmt.Printf("instruction swaps:  %d\n", res.Swaps)
+	fmt.Printf("queue spills:       %d\n", res.Overflows)
+	fmt.Printf("memory operations:  %d (L1 miss rate %.4f, coherence moves %d)\n",
+		res.MemoryOps, res.L1MissRate, res.CoherenceMoves)
+	fmt.Printf("network messages:   %d\n", res.NetworkMessages)
+
+	if *baseline {
+		base, err := prog.SimulateBaseline(wavescalar.DefaultBaselineConfig())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nbaseline superscalar: %d cycles (IPC %.3f, %d instructions, %.2f%% mispredicts)\n",
+			base.Cycles, base.IPC, base.Instrs, 100*float64(base.Mispredicts)/float64(max(base.Branches, 1)))
+		fmt.Printf("WaveCache speedup over baseline: %.2fx\n", float64(base.Cycles)/float64(res.Cycles))
+	}
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wavesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// dataflow_intro dissects a compiled WaveScalar binary: it prints the
+// dataflow assembly of a small loop and annotates what each piece is —
+// waves, steers, wave advances, and the wave-ordered memory annotations —
+// then runs the program and shows how the ordering chain issued.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"wavescalar"
+)
+
+const src = `
+// One loop with a branch and memory on both paths: small enough to read
+// the whole dataflow graph, rich enough to show every ISA mechanism.
+global evens[8];
+global odds[8];
+
+func main() {
+	for var i = 0; i < 16; i = i + 1 {
+		if i % 2 == 0 {
+			evens[i / 2] = i;
+		} else {
+			odds[i / 2] = i;
+		}
+	}
+	return evens[3] * 100 + odds[3];
+}
+`
+
+func main() {
+	// Compile without unrolling so the graph stays readable.
+	prog, err := wavescalar.Compile(src, wavescalar.CompileConfig{Unroll: 1, Optimize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	asm := prog.Disassemble()
+	fmt.Println("=== WaveScalar dataflow assembly ===")
+	fmt.Println(asm)
+
+	fmt.Println("=== what to look for ===")
+	lines := strings.Split(asm, "\n")
+	count := func(sub string) int {
+		n := 0
+		for _, l := range lines {
+			if strings.Contains(l, sub) {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("steer instructions (φ⁻¹, one per live value per branch): %d\n", count(" steer "))
+	fmt.Printf("wave-advance instructions (tag increment on wave crossings): %d\n", count("wave-advance"))
+	fmt.Printf("memory-annotated instructions (mem=kind,seq,pred,succ): %d\n", count(" mem="))
+	fmt.Printf("memory nops (ordering chain through memory-silent paths): %d\n", count("mem-nop"))
+	fmt.Println()
+	fmt.Println("annotation syntax: mem=store,3,2,? means \"I am memory slot 3 of")
+	fmt.Println("my wave, slot 2 precedes me, and my successor depends on the")
+	fmt.Println("branch path taken ('?'). '^' marks a wave's first slot, '$' its")
+	fmt.Println("last. The store buffer chains these at runtime to recover the")
+	fmt.Println("program order of the dynamically executed path.")
+	fmt.Println()
+
+	res, err := prog.Interpret()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== execution on the ideal dataflow machine ===")
+	fmt.Printf("result: %d (evens[3]=6, odds[3]=7 -> 607)\n", res.Value)
+	fmt.Printf("fired: %d instructions, %d steers, %d wave advances, %d memory ops\n",
+		res.Fired, res.Steers, res.WaveAdvances, res.MemoryOps)
+	fmt.Printf("the 16 iterations ran as %d dynamic waves; at peak, %d tokens were in flight\n",
+		res.WaveAdvances/uint64(countLiveValues(asm)), res.MaxParallelism)
+}
+
+// countLiveValues estimates live values per wave crossing from the advance
+// population of the loop (purely cosmetic for the narration).
+func countLiveValues(asm string) int {
+	n := strings.Count(asm, "wave-advance")
+	if n == 0 {
+		return 1
+	}
+	// The loop back edge advances each live value once per iteration.
+	if n > 16 {
+		return n / 16
+	}
+	return 1
+}

@@ -1,0 +1,73 @@
+// placement_study reproduces the packing-versus-dispersion trade-off at the
+// heart of WaveCache instruction placement: it runs two workloads with
+// opposite characters — a serial dependence chain (latency-bound) and a
+// deeply recursive tree (contention-bound) — under every placement policy
+// and shows that no single extreme wins both, while
+// dynamic-depth-first-snake balances the two concerns.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wavescalar"
+)
+
+// chain is latency-bound: one long serial dependence, no parallelism for
+// dispersion to exploit. Placement quality == operand locality.
+const chain = `
+func main() {
+	var x = 12345;
+	for var i = 0; i < 3000; i = i + 1 {
+		x = (x * 48271) % 2147483647;
+	}
+	return x;
+}
+`
+
+// tree is contention-bound: thousands of concurrent activations hammer the
+// same few static instructions, so spreading them over PEs is what matters.
+const tree = `
+func fib(n) {
+	if n < 2 { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() { return fib(16); }
+`
+
+func main() {
+	workloads := []struct {
+		name string
+		src  string
+	}{
+		{"serial-chain (latency-bound)", chain},
+		{"recursion-tree (contention-bound)", tree},
+	}
+	for _, w := range workloads {
+		prog, err := wavescalar.Compile(w.src, wavescalar.DefaultCompileConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s (%d static instructions)\n", w.name, prog.StaticInstructions())
+		fmt.Printf("  %-28s %10s %8s\n", "policy", "cycles", "IPC")
+		best, bestCycles := "", int64(0)
+		for _, pol := range wavescalar.PlacementPolicies() {
+			res, err := prog.Simulate(wavescalar.SimConfig{Placement: pol})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-28s %10d %8.2f\n", pol, res.Cycles, res.IPC)
+			if best == "" || res.Cycles < bestCycles {
+				best, bestCycles = pol, res.Cycles
+			}
+		}
+		fmt.Printf("  -> best: %s\n", best)
+	}
+	fmt.Println("\nThe serial chain rewards packing (snake variants keep dependent")
+	fmt.Println("instructions on the pod bypass); the recursion tree rewards")
+	fmt.Println("dispersion (each PE fires once per cycle, so scattering relieves")
+	fmt.Println("contention). This is the tension the placement-model follow-on")
+	fmt.Println("paper (SPAA 2006) quantifies, and why dynamic-depth-first-snake")
+	fmt.Println("— chains for locality, demand-driven packing for utilization —")
+	fmt.Println("is the default policy here.")
+}

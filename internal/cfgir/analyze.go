@@ -1,0 +1,241 @@
+package cfgir
+
+// RegSet is a bitset over virtual registers.
+type RegSet []uint64
+
+// NewRegSet allocates a set sized for n registers.
+func NewRegSet(n int) RegSet { return make(RegSet, (n+63)/64) }
+
+// Has reports membership.
+func (s RegSet) Has(r Reg) bool {
+	if r < 0 {
+		return false
+	}
+	return s[r/64]&(1<<(uint(r)%64)) != 0
+}
+
+// Add inserts r (no-op for NoReg).
+func (s RegSet) Add(r Reg) {
+	if r < 0 {
+		return
+	}
+	s[r/64] |= 1 << (uint(r) % 64)
+}
+
+// Remove deletes r.
+func (s RegSet) Remove(r Reg) {
+	if r < 0 {
+		return
+	}
+	s[r/64] &^= 1 << (uint(r) % 64)
+}
+
+// UnionWith adds every member of o, reporting whether s changed.
+func (s RegSet) UnionWith(o RegSet) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Clone copies the set.
+func (s RegSet) Clone() RegSet { return append(RegSet(nil), s...) }
+
+// Members lists the registers in ascending order.
+func (s RegSet) Members() []Reg {
+	var out []Reg
+	for wi, w := range s {
+		for w != 0 {
+			b := w & -w
+			bit := trailingZeros(w)
+			out = append(out, Reg(wi*64+bit))
+			w ^= b
+		}
+	}
+	return out
+}
+
+// Count returns the cardinality.
+func (s RegSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for w != 0 {
+			w &= w - 1
+			n++
+		}
+	}
+	return n
+}
+
+func trailingZeros(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+// Compact removes unreachable blocks and renumbers the survivors in reverse
+// postorder (entry first). Every pass and backend assumes a compacted
+// function: all blocks reachable, IDs dense, entry == 0.
+func (f *Func) Compact() {
+	order := f.rpo()
+	remap := make([]int, len(f.Blocks))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for newID, oldID := range order {
+		remap[oldID] = newID
+	}
+	blocks := make([]*Block, len(order))
+	for newID, oldID := range order {
+		b := f.Blocks[oldID]
+		b.ID = newID
+		switch b.Term.Kind {
+		case TJump:
+			b.Term.Then = remap[b.Term.Then]
+		case TBranch:
+			b.Term.Then = remap[b.Term.Then]
+			b.Term.Else = remap[b.Term.Else]
+		}
+		blocks[newID] = b
+	}
+	f.Blocks = blocks
+	f.Entry = 0
+}
+
+// rpo computes reverse postorder over reachable blocks starting at entry.
+func (f *Func) rpo() []int {
+	visited := make([]bool, len(f.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(id int) {
+		visited[id] = true
+		for _, s := range f.Blocks[id].Succs() {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, id)
+	}
+	dfs(f.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Preds returns, for each block, the list of predecessor block IDs. The
+// function must be compacted.
+func (f *Func) Preds() [][]int {
+	preds := make([][]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b.ID)
+		}
+	}
+	return preds
+}
+
+// Edge is a CFG edge.
+type Edge struct{ From, To int }
+
+// BackEdges identifies the back edges of a compacted function under a DFS
+// from the entry. The targets of back edges are the loop headers; the wave
+// partitioner places WAVE-ADVANCE on exactly these edges plus loop entries.
+func (f *Func) BackEdges() map[Edge]bool {
+	back := make(map[Edge]bool)
+	state := make([]uint8, len(f.Blocks)) // 0 unvisited, 1 on stack, 2 done
+	var dfs func(int)
+	dfs = func(id int) {
+		state[id] = 1
+		for _, s := range f.Blocks[id].Succs() {
+			switch state[s] {
+			case 0:
+				dfs(s)
+			case 1:
+				back[Edge{From: id, To: s}] = true
+			}
+		}
+		state[id] = 2
+	}
+	dfs(f.Entry)
+	return back
+}
+
+// LoopHeaders returns the set of blocks targeted by back edges.
+func (f *Func) LoopHeaders() map[int]bool {
+	headers := make(map[int]bool)
+	for e := range f.BackEdges() {
+		headers[e.To] = true
+	}
+	return headers
+}
+
+// Liveness computes per-block live-in and live-out register sets with the
+// standard backward iterative dataflow. The function must be compacted.
+func (f *Func) Liveness() (liveIn, liveOut []RegSet) {
+	n := len(f.Blocks)
+	liveIn = make([]RegSet, n)
+	liveOut = make([]RegSet, n)
+	use := make([]RegSet, n)
+	def := make([]RegSet, n)
+	var buf []Reg
+	for i, b := range f.Blocks {
+		liveIn[i] = NewRegSet(f.NumRegs)
+		liveOut[i] = NewRegSet(f.NumRegs)
+		use[i] = NewRegSet(f.NumRegs)
+		def[i] = NewRegSet(f.NumRegs)
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			buf = in.Uses(buf[:0])
+			for _, r := range buf {
+				if !def[i].Has(r) {
+					use[i].Add(r)
+				}
+			}
+			if in.HasDst() {
+				def[i].Add(in.Dst)
+			}
+		}
+		switch b.Term.Kind {
+		case TBranch:
+			if !def[i].Has(b.Term.Cond) {
+				use[i].Add(b.Term.Cond)
+			}
+		case TRet:
+			if !def[i].Has(b.Term.Val) {
+				use[i].Add(b.Term.Val)
+			}
+		}
+	}
+	// Iterate to fixpoint (postorder gives fast convergence; simple loop
+	// over all blocks is fine at our sizes).
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			for _, s := range b.Succs() {
+				if liveOut[i].UnionWith(liveIn[s]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			newIn := liveOut[i].Clone()
+			for _, r := range def[i].Members() {
+				newIn.Remove(r)
+			}
+			newIn.UnionWith(use[i])
+			if liveIn[i].UnionWith(newIn) {
+				changed = true
+			}
+		}
+	}
+	return liveIn, liveOut
+}

@@ -1,0 +1,425 @@
+package harness
+
+import (
+	"fmt"
+
+	"wavescalar/internal/placement"
+	"wavescalar/internal/stats"
+	"wavescalar/internal/wavecache"
+	"wavescalar/internal/workloads"
+)
+
+// Experiments is the reconstructed MICRO 2003 evaluation, one entry per
+// table/figure (IDs match DESIGN.md and EXPERIMENTS.md).
+var Experiments = []Experiment{
+	{
+		ID:    "E1",
+		Title: "WaveCache vs. superscalar vs. ideal dataflow (headline figure)",
+		Claim: "the WaveCache outperforms an aggressive out-of-order superscalar, especially on memory-parallel codes; an idealized dataflow machine shows further headroom",
+		Run:   runE1,
+	},
+	{
+		ID:    "E2",
+		Title: "WaveCache capacity: instructions per PE",
+		Claim: "small PE instruction stores thrash (swap storms); performance saturates once the working set of instructions is resident",
+		Run:   runE2,
+	},
+	{
+		ID:    "E3",
+		Title: "Grid size: number of clusters",
+		Claim: "kernels saturate a small grid; extra clusters add operand latency without adding useful parallelism until working sets grow",
+		Run:   runE3,
+	},
+	{
+		ID:    "E4",
+		Title: "Memory ordering: wave-ordered vs. serialized vs. oracle",
+		Claim: "wave-ordered memory recovers most of an oracle memory's performance while a dependence-token serialized memory collapses — the paper's central claim",
+		Run:   runE4,
+	},
+	{
+		ID:    "E5",
+		Title: "Operand network latency sensitivity",
+		Claim: "performance degrades smoothly as operand latencies scale; placement locality keeps most traffic on the cheap levels",
+		Run:   runE5,
+	},
+	{
+		ID:    "E6",
+		Title: "PE input queue (matching table) size",
+		Claim: "undersized matching storage forces token spills and serializes bursty producers",
+		Run:   runE6,
+	},
+	{
+		ID:    "E7",
+		Title: "L1 data cache size and coherence traffic",
+		Claim: "per-cluster L1s capture most locality; the directory protocol's transfers track data sharing between clusters",
+		Run:   runE7,
+	},
+	{
+		ID:    "E8",
+		Title: "Placement algorithms",
+		Claim: "placement can swing performance severely; packing (contention) and scattering (latency) trade off, and dynamic-depth-first-snake balances both",
+		Run:   runE8,
+	},
+	{
+		ID:    "E9",
+		Title: "Control: steer (φ⁻¹) vs. select (φ) compilation",
+		Claim: "if-conversion to φ selects removes steers and branch-induced waves at the cost of executing both arms",
+		Run:   runE9,
+	},
+	{
+		ID:    "E10",
+		Title: "Instruction swap penalty",
+		Claim: "the cost of demand-swapping instructions into PE stores is visible only when stores are undersized",
+		Run:   runE10,
+	},
+	{
+		ID:    "E11",
+		Title: "Loop unrolling (k-loop bounding)",
+		Claim: "unrolling amortizes the dataflow loop-control chain (steer + wave-advance per iteration), helping the WaveCache more than the superscalar",
+		Run:   runE11,
+	},
+}
+
+// ExperimentByID finds an experiment.
+func ExperimentByID(id string) *Experiment {
+	for i := range Experiments {
+		if Experiments[i].ID == id {
+			return &Experiments[i]
+		}
+	}
+	return nil
+}
+
+func runE1(set []*Compiled, m MachineOptions) (*stats.Table, error) {
+	t := stats.NewTable("E1: performance (AIPC = useful instructions per cycle)",
+		"bench", "useful", "ooo-ipc", "wc-aipc", "wc-raw-ipc", "ideal-aipc", "speedup")
+	var speedups, wcs, ooos []float64
+	for _, c := range set {
+		ores, err := RunOoO(c, DefaultOoOConfig())
+		if err != nil {
+			return nil, err
+		}
+		wres, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), m.WaveConfig())
+		if err != nil {
+			return nil, err
+		}
+		ires, err := RunWave(c, c.Wave, placement.NewDynamicSnake(idealWaveConfig().Machine), idealWaveConfig())
+		if err != nil {
+			return nil, err
+		}
+		sp := float64(ores.Cycles) / float64(wres.Cycles)
+		speedups = append(speedups, sp)
+		wcs = append(wcs, AIPC(c.UsefulInstrs, wres.Cycles))
+		ooos = append(ooos, ores.IPC)
+		t.AddRow(c.Name, c.UsefulInstrs, ores.IPC,
+			AIPC(c.UsefulInstrs, wres.Cycles), wres.IPC,
+			AIPC(c.UsefulInstrs, ires.Cycles), sp)
+	}
+	t.AddRow("geomean", "", stats.GeoMean(ooos), stats.GeoMean(wcs), "", "", stats.GeoMean(speedups))
+	t.Note = "speedup = ooo cycles / WaveCache cycles on identical source"
+	return t, nil
+}
+
+func runE2(set []*Compiled, m MachineOptions) (*stats.Table, error) {
+	caps := []int{4, 8, 16, 32, 64}
+	headers := []string{"bench"}
+	for _, c := range caps {
+		headers = append(headers, fmt.Sprintf("aipc@%d", c), fmt.Sprintf("swaps@%d", c))
+	}
+	t := stats.NewTable("E2: AIPC and swaps vs. PE instruction-store capacity (1x1 grid)", headers...)
+	for _, c := range set {
+		row := []any{c.Name}
+		for _, capacity := range caps {
+			cfg := m.WaveConfig()
+			cfg.Machine = placement.DefaultMachine(1, 1)
+			cfg.Machine.Capacity = capacity
+			cfg.PEStore = capacity
+			cfg.Net = wavecache.DefaultConfig(1, 1).Net
+			cfg.Mem = wavecache.DefaultConfig(1, 1).Mem
+			cfg.InputQueue = m.InputQueue
+			pol, err := placement.New(m.Policy, cfg.Machine, c.Wave, 12345)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunWave(c, c.Wave, pol, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, AIPC(c.UsefulInstrs, res.Cycles), res.Swaps)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func runE3(set []*Compiled, m MachineOptions) (*stats.Table, error) {
+	grids := [][2]int{{1, 1}, {2, 2}, {4, 4}, {8, 8}}
+	headers := []string{"bench"}
+	for _, g := range grids {
+		headers = append(headers, fmt.Sprintf("aipc@%dx%d", g[0], g[1]))
+	}
+	t := stats.NewTable("E3: AIPC vs. cluster grid size", headers...)
+	for _, c := range set {
+		row := []any{c.Name}
+		for _, g := range grids {
+			opt := m
+			opt.GridW, opt.GridH = g[0], g[1]
+			cfg := opt.WaveConfig()
+			res, err := RunWave(c, c.Wave, opt.NewPolicy(c.Wave), cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, AIPC(c.UsefulInstrs, res.Cycles))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func runE4(set []*Compiled, m MachineOptions) (*stats.Table, error) {
+	t := stats.NewTable("E4: AIPC by memory ordering strategy",
+		"bench", "wave-ordered", "serialized", "oracle", "ordered/serial", "oracle/ordered")
+	var ratios []float64
+	for _, c := range set {
+		var cycles [3]int64
+		for i, mode := range []wavecache.MemoryMode{wavecache.MemOrdered, wavecache.MemSerial, wavecache.MemIdeal} {
+			cfg := m.WaveConfig()
+			cfg.MemMode = mode
+			res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+			if err != nil {
+				return nil, err
+			}
+			cycles[i] = res.Cycles
+		}
+		r := float64(cycles[1]) / float64(cycles[0])
+		ratios = append(ratios, r)
+		t.AddRow(c.Name,
+			AIPC(c.UsefulInstrs, cycles[0]),
+			AIPC(c.UsefulInstrs, cycles[1]),
+			AIPC(c.UsefulInstrs, cycles[2]),
+			r,
+			float64(cycles[0])/float64(cycles[2]))
+	}
+	t.Note = fmt.Sprintf("geomean speedup of wave-ordered over serialized memory: %.2fx", stats.GeoMean(ratios))
+	return t, nil
+}
+
+func runE5(set []*Compiled, m MachineOptions) (*stats.Table, error) {
+	scales := []int64{0, 1, 2, 4}
+	headers := []string{"bench"}
+	for _, s := range scales {
+		headers = append(headers, fmt.Sprintf("aipc@x%d", s))
+	}
+	t := stats.NewTable("E5: AIPC vs. operand-network latency scale", headers...)
+	for _, c := range set {
+		row := []any{c.Name}
+		for _, s := range scales {
+			cfg := m.WaveConfig()
+			cfg.Net.IntraPod *= s
+			cfg.Net.IntraDomain *= s
+			cfg.Net.IntraCluster *= s
+			cfg.Net.InterClusterBase *= s
+			cfg.Net.LinkLatency *= s
+			res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, AIPC(c.UsefulInstrs, res.Cycles))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func runE6(set []*Compiled, m MachineOptions) (*stats.Table, error) {
+	queues := []int{4, 16, 64, 256, 1 << 30}
+	headers := []string{"bench"}
+	for _, q := range queues {
+		label := fmt.Sprintf("%d", q)
+		if q == 1<<30 {
+			label = "inf"
+		}
+		headers = append(headers, "aipc@"+label)
+	}
+	headers = append(headers, "spills@16")
+	t := stats.NewTable("E6: AIPC vs. PE input-queue capacity", headers...)
+	for _, c := range set {
+		row := []any{c.Name}
+		var spills16 uint64
+		for _, q := range queues {
+			cfg := m.WaveConfig()
+			cfg.InputQueue = q
+			res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+			if err != nil {
+				return nil, err
+			}
+			if q == 16 {
+				spills16 = res.Overflows
+			}
+			row = append(row, AIPC(c.UsefulInstrs, res.Cycles))
+		}
+		row = append(row, spills16)
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func runE7(set []*Compiled, m MachineOptions) (*stats.Table, error) {
+	sizes := []int64{64, 256, 1024, 4096}
+	headers := []string{"bench"}
+	for _, s := range sizes {
+		headers = append(headers, fmt.Sprintf("aipc@%dKB", s*8/1024))
+	}
+	headers = append(headers, "missrate@2KB", "transfers@2KB")
+	t := stats.NewTable("E7: AIPC vs. per-cluster L1 size; coherence traffic", headers...)
+	for _, c := range set {
+		row := []any{c.Name}
+		var miss float64
+		var transfers uint64
+		for _, s := range sizes {
+			cfg := m.WaveConfig()
+			cfg.Mem.L1.SizeWords = s
+			res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+			if err != nil {
+				return nil, err
+			}
+			if s == 256 {
+				if res.Mem.Accesses > 0 {
+					miss = float64(res.Mem.L1Misses) / float64(res.Mem.Accesses)
+				}
+				transfers = res.Mem.Transfers
+			}
+			row = append(row, AIPC(c.UsefulInstrs, res.Cycles))
+		}
+		row = append(row, miss, transfers)
+		t.AddRow(row...)
+	}
+	t.Note = "L1 sizes are per cluster; 64 words = 0.5 KB"
+	return t, nil
+}
+
+func runE8(set []*Compiled, m MachineOptions) (*stats.Table, error) {
+	policies := placement.Names()
+	headers := append([]string{"bench"}, policies...)
+	t := stats.NewTable("E8: AIPC by placement algorithm", headers...)
+	sums := make([]float64, len(policies))
+	counts := 0
+	perPolicy := make([][]float64, len(policies))
+	for _, c := range set {
+		row := []any{c.Name}
+		for i, name := range policies {
+			cfg := m.WaveConfig()
+			pol, err := placement.New(name, cfg.Machine, c.Wave, 12345)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunWave(c, c.Wave, pol, cfg)
+			if err != nil {
+				return nil, err
+			}
+			a := AIPC(c.UsefulInstrs, res.Cycles)
+			perPolicy[i] = append(perPolicy[i], a)
+			sums[i] += a
+			row = append(row, a)
+		}
+		counts++
+		t.AddRow(row...)
+	}
+	geo := []any{"geomean"}
+	for i := range policies {
+		geo = append(geo, stats.GeoMean(perPolicy[i]))
+	}
+	t.AddRow(geo...)
+	return t, nil
+}
+
+func runE9(set []*Compiled, m MachineOptions) (*stats.Table, error) {
+	t := stats.NewTable("E9: steer (φ⁻¹) vs. select (φ) control",
+		"bench", "steer-aipc", "select-aipc", "steer-static", "select-static", "steer-fired", "select-fired")
+	for _, c := range set {
+		rs, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), m.WaveConfig())
+		if err != nil {
+			return nil, err
+		}
+		rsel, err := RunWave(c, c.WaveSel, m.NewPolicy(c.WaveSel), m.WaveConfig())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.Name,
+			AIPC(c.UsefulInstrs, rs.Cycles), AIPC(c.UsefulInstrs, rsel.Cycles),
+			c.Wave.NumInstrs(), c.WaveSel.NumInstrs(),
+			rs.Fired, rsel.Fired)
+	}
+	return t, nil
+}
+
+func runE10(set []*Compiled, m MachineOptions) (*stats.Table, error) {
+	costs := []int64{0, 8, 32, 128}
+	headers := []string{"bench"}
+	for _, c := range costs {
+		headers = append(headers, fmt.Sprintf("aipc@%d", c))
+	}
+	t := stats.NewTable("E10: AIPC vs. instruction swap penalty (8-per-PE stores)", headers...)
+	for _, c := range set {
+		row := []any{c.Name}
+		for _, cost := range costs {
+			cfg := m.WaveConfig()
+			cfg.PEStore = 8
+			cfg.Machine.Capacity = 8
+			cfg.SwapPenalty = cost
+			res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, AIPC(c.UsefulInstrs, res.Cycles))
+		}
+		t.AddRow(row...)
+	}
+	t.Note = "stores deliberately undersized (8 instructions) so swapping is on the critical path"
+	return t, nil
+}
+
+func runE11(set []*Compiled, m MachineOptions) (*stats.Table, error) {
+	t := stats.NewTable("E11: loop unrolling ablation",
+		"bench", "wc-rolled-cyc", "wc-unrolled-cyc", "wc-gain", "ooo-rolled-cyc", "ooo-unrolled-cyc", "ooo-gain")
+	var wcGains, oooGains []float64
+	for _, c := range set {
+		wr, err := wavecache.Run(c.WaveNoUn, m.NewPolicy(c.WaveNoUn), m.WaveConfig())
+		if err != nil {
+			return nil, err
+		}
+		wu, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), m.WaveConfig())
+		if err != nil {
+			return nil, err
+		}
+		// Rolled linear build for the baseline.
+		rolled, err := CompileWorkload(mustWorkload(c.Name), CompileOptions{Unroll: 1})
+		if err != nil {
+			return nil, err
+		}
+		or, err := RunOoO(rolled, DefaultOoOConfig())
+		if err != nil {
+			return nil, err
+		}
+		ou, err := RunOoO(c, DefaultOoOConfig())
+		if err != nil {
+			return nil, err
+		}
+		wcGain := float64(wr.Cycles) / float64(wu.Cycles)
+		oooGain := float64(or.Cycles) / float64(ou.Cycles)
+		wcGains = append(wcGains, wcGain)
+		oooGains = append(oooGains, oooGain)
+		t.AddRow(c.Name, wr.Cycles, wu.Cycles, wcGain, or.Cycles, ou.Cycles, oooGain)
+	}
+	t.Note = fmt.Sprintf("geomean unrolling gain: WaveCache %.2fx, superscalar %.2fx",
+		stats.GeoMean(wcGains), stats.GeoMean(oooGains))
+	return t, nil
+}
+
+func mustWorkload(name string) *workloads.Workload {
+	w := workloads.ByName(name)
+	if w == nil {
+		panic("harness: unknown workload " + name)
+	}
+	return w
+}

@@ -1,0 +1,290 @@
+// Package harness compiles the benchmark suite through both backends and
+// runs the reconstructed MICRO 2003 evaluation: experiments E1–E11, each
+// regenerating one table/figure of the paper's evaluation section (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for results and
+// paper-vs-measured discussion).
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"wavescalar/internal/cfgir"
+	"wavescalar/internal/interp"
+	"wavescalar/internal/isa"
+	"wavescalar/internal/lang"
+	"wavescalar/internal/linear"
+	"wavescalar/internal/mem"
+	"wavescalar/internal/ooo"
+	"wavescalar/internal/placement"
+	"wavescalar/internal/stats"
+	"wavescalar/internal/wavec"
+	"wavescalar/internal/wavecache"
+	"wavescalar/internal/workloads"
+)
+
+// Compiled is one workload built for every engine.
+type Compiled struct {
+	Name     string
+	Mirrors  string
+	Wave     *isa.Program // steer-based dataflow binary
+	WaveSel  *isa.Program // φ-select (if-converted) dataflow binary
+	WaveNoUn *isa.Program // without loop unrolling (E11)
+	Linear   *linear.Program
+	Checksum int64
+	// UsefulInstrs is the dynamic linear instruction count: the
+	// architecture-neutral work metric (the paper's "Alpha-equivalent"
+	// instruction count).
+	UsefulInstrs int64
+}
+
+// CompileOptions controls the build pipeline.
+type CompileOptions struct {
+	Unroll int // loop unrolling factor (0/1 = off)
+}
+
+// DefaultCompileOptions is the harness pipeline: unroll by 4, as the
+// paper's Alpha toolchain would.
+func DefaultCompileOptions() CompileOptions { return CompileOptions{Unroll: 4} }
+
+// CompileWorkload builds one workload through the full pipeline.
+func CompileWorkload(w *workloads.Workload, opts CompileOptions) (*Compiled, error) {
+	c := &Compiled{Name: w.Name, Mirrors: w.Mirrors}
+
+	build := func(unroll int, waveOpts wavec.Options) (*isa.Program, *cfgir.Program, error) {
+		f, err := lang.ParseAndCheck(w.Src)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: frontend: %w", w.Name, err)
+		}
+		if unroll > 1 {
+			lang.Unroll(f, unroll)
+		}
+		p, err := cfgir.Build(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: build: %w", w.Name, err)
+		}
+		for _, fn := range p.Funcs {
+			fn.Compact()
+		}
+		p.Optimize()
+		wp, err := wavec.Compile(p, waveOpts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: wavec: %w", w.Name, err)
+		}
+		return wp, p, nil
+	}
+
+	var err error
+	var irProg *cfgir.Program
+	if c.Wave, irProg, err = build(opts.Unroll, wavec.Options{}); err != nil {
+		return nil, err
+	}
+	// The linear program shares the IR pipeline; wavec mutates the IR
+	// (edge splitting) but that does not change semantics or instruction
+	// counts materially, so rebuild cleanly for fairness.
+	{
+		f, _ := lang.ParseAndCheck(w.Src)
+		if opts.Unroll > 1 {
+			lang.Unroll(f, opts.Unroll)
+		}
+		p, err := cfgir.Build(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, fn := range p.Funcs {
+			fn.Compact()
+		}
+		p.Optimize()
+		if c.Linear, err = linear.Compile(p); err != nil {
+			return nil, err
+		}
+		_ = irProg
+	}
+	if c.WaveSel, _, err = build(opts.Unroll, wavec.Options{IfConvert: true}); err != nil {
+		return nil, err
+	}
+	if c.WaveNoUn, _, err = build(1, wavec.Options{}); err != nil {
+		return nil, err
+	}
+
+	em := linear.NewEmulator(c.Linear, 0)
+	c.Checksum, err = em.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s: linear emulator: %w", w.Name, err)
+	}
+	c.UsefulInstrs = em.Instrs
+
+	// Cross-check against the AST evaluator.
+	want, err := lang.EvalProgram(w.Src)
+	if err != nil {
+		return nil, err
+	}
+	if want != c.Checksum {
+		return nil, fmt.Errorf("%s: linear checksum %d != evaluator %d", w.Name, c.Checksum, want)
+	}
+	return c, nil
+}
+
+// Suite compiles a set of workloads (all of them if names is empty).
+func Suite(names []string, opts CompileOptions) ([]*Compiled, error) {
+	var out []*Compiled
+	if len(names) == 0 {
+		names = workloads.Names()
+	}
+	for _, n := range names {
+		w := workloads.ByName(n)
+		if w == nil {
+			return nil, fmt.Errorf("harness: unknown workload %q", n)
+		}
+		c, err := CompileWorkload(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// MachineOptions is the simulated-hardware configuration shared by the
+// experiments.
+type MachineOptions struct {
+	GridW, GridH int
+	// Density is the placement packing density (instruction homes per PE).
+	// The published machine packs 64, sized for SPEC-scale working sets;
+	// the kernels here are ~100x smaller, so the default preserves the
+	// paper's ratio of packed instructions to working-set size.
+	Density int
+	// InputQueue is the PE matching-table capacity before spills.
+	InputQueue int
+	// Policy names the placement policy.
+	Policy string
+}
+
+// DefaultMachineOptions is the tuned kernel-scale configuration.
+func DefaultMachineOptions() MachineOptions {
+	return MachineOptions{GridW: 4, GridH: 4, Density: 16, InputQueue: 64,
+		Policy: "dynamic-depth-first-snake"}
+}
+
+// WaveConfig builds a wavecache config from the options.
+func (m MachineOptions) WaveConfig() wavecache.Config {
+	cfg := wavecache.DefaultConfig(m.GridW, m.GridH)
+	cfg.Machine.Capacity = m.Density
+	cfg.InputQueue = m.InputQueue
+	return cfg
+}
+
+// NewPolicy instantiates the configured placement policy for a program.
+func (m MachineOptions) NewPolicy(p *isa.Program) placement.Policy {
+	pol, err := placement.New(m.Policy, m.WaveConfig().Machine, p, 12345)
+	if err != nil {
+		panic(err)
+	}
+	return pol
+}
+
+// RunWave simulates a dataflow binary and checks its checksum.
+func RunWave(c *Compiled, prog *isa.Program, pol placement.Policy, cfg wavecache.Config) (wavecache.Result, error) {
+	res, err := wavecache.Run(prog, pol, cfg)
+	if err != nil {
+		return res, fmt.Errorf("%s: wavecache: %w", c.Name, err)
+	}
+	if res.Value != c.Checksum {
+		return res, fmt.Errorf("%s: wavecache checksum %d != %d", c.Name, res.Value, c.Checksum)
+	}
+	return res, nil
+}
+
+// DefaultOoOConfig is the baseline superscalar configuration for the
+// experiments.
+func DefaultOoOConfig() ooo.Config { return ooo.DefaultConfig() }
+
+// RunOoO simulates the superscalar baseline and checks its checksum.
+func RunOoO(c *Compiled, cfg ooo.Config) (ooo.Result, error) {
+	res, err := ooo.Run(c.Linear, cfg)
+	if err != nil {
+		return res, err
+	}
+	if res.Value != c.Checksum {
+		return res, fmt.Errorf("%s: ooo checksum %d != %d", c.Name, res.Value, c.Checksum)
+	}
+	return res, nil
+}
+
+// AIPC is the architecture-neutral performance metric used throughout the
+// experiments: useful (linear) instructions per cycle. It charges the
+// WaveCache for its dataflow overhead instructions implicitly (they consume
+// cycles but do not count as work), mirroring the paper's Alpha-equivalent
+// IPC.
+func AIPC(useful int64, cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(useful) / float64(cycles)
+}
+
+// Experiment is one reconstructed table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Claim is the paper's qualitative claim this experiment probes.
+	Claim string
+	Run   func(set []*Compiled, m MachineOptions) (*stats.Table, error)
+}
+
+// RunAll executes every experiment, writing each table to w as it
+// completes.
+func RunAll(set []*Compiled, m MachineOptions, w io.Writer) error {
+	for _, e := range Experiments {
+		fmt.Fprintf(w, "\n## %s — %s\n\n", e.ID, e.Title)
+		fmt.Fprintf(w, "Paper claim: %s\n\n", e.Claim)
+		tbl, err := e.Run(set, m)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w, tbl.Render())
+	}
+	return nil
+}
+
+// idealWaveConfig is the unbounded-resource dataflow machine used as the
+// "ideal dataflow" column of E1: free network, infinite queues and stores,
+// oracle memory ordering, single-cycle caches.
+func idealWaveConfig() wavecache.Config {
+	cfg := wavecache.DefaultConfig(8, 8)
+	cfg.Machine.Capacity = 1 // spread maximally: no PE contention
+	cfg.PEStore = 1 << 20
+	cfg.SwapPenalty = 0
+	cfg.InputQueue = 1 << 30
+	cfg.BufferWidth = 1 << 20
+	cfg.MemMsgLatency = 0
+	cfg.MemMode = wavecache.MemIdeal
+	cfg.Net.IntraPod = 1
+	cfg.Net.IntraDomain = 1
+	cfg.Net.IntraCluster = 1
+	cfg.Net.InterClusterBase = 1
+	cfg.Net.LinkLatency = 0
+	cfg.Net.LinkBandwidth = 0
+	cfg.Mem.L1Latency = 1
+	cfg.Mem.L2Latency = 0
+	cfg.Mem.MemLatency = 0
+	return cfg
+}
+
+// interpStats runs the reference interpreter for dataflow-limit statistics.
+func interpStats(prog *isa.Program) (interp.Stats, error) {
+	m := interp.New(prog, 0)
+	if _, err := m.Run(); err != nil {
+		return interp.Stats{}, err
+	}
+	return m.Stats(), nil
+}
+
+// scaledMemory returns the kernel-scale memory hierarchy used by the
+// memory-pressure experiments: a 2 KB L1 preserves the paper's ratio of L1
+// capacity to working-set size.
+func scaledMemory(n int) mem.SystemConfig {
+	cfg := mem.DefaultSystemConfig(n)
+	cfg.L1.SizeWords = 256
+	return cfg
+}

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"wavescalar/internal/workloads"
+)
+
+// quickSet compiles a small, fast subset of the suite.
+func quickSet(t testing.TB) []*Compiled {
+	t.Helper()
+	set, err := Suite([]string{"lu", "fft"}, DefaultCompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// quickMachine keeps experiment runtime small for tests.
+func quickMachine() MachineOptions {
+	m := DefaultMachineOptions()
+	m.GridW, m.GridH = 2, 2
+	return m
+}
+
+func TestCompileWorkloadChecksums(t *testing.T) {
+	for _, name := range []string{"lu", "adpcm"} {
+		c, err := CompileWorkload(workloads.ByName(name), DefaultCompileOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Checksum == 0 || c.UsefulInstrs == 0 {
+			t.Errorf("%s: checksum=%d useful=%d", name, c.Checksum, c.UsefulInstrs)
+		}
+		if c.Wave == nil || c.WaveSel == nil || c.WaveNoUn == nil || c.Linear == nil {
+			t.Errorf("%s: missing compiled artifact", name)
+		}
+		// Unrolling should have enlarged the program.
+		if c.Wave.NumInstrs() <= c.WaveNoUn.NumInstrs() {
+			t.Errorf("%s: unrolled %d instrs <= rolled %d", name, c.Wave.NumInstrs(), c.WaveNoUn.NumInstrs())
+		}
+	}
+}
+
+func TestSuiteUnknownWorkload(t *testing.T) {
+	if _, err := Suite([]string{"nope"}, DefaultCompileOptions()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestExperimentByID(t *testing.T) {
+	if ExperimentByID("E1") == nil || ExperimentByID("E99") != nil {
+		t.Error("ExperimentByID broken")
+	}
+	seen := map[string]bool{}
+	for _, e := range Experiments {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %q missing metadata", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if len(Experiments) < 11 {
+		t.Errorf("only %d experiments registered", len(Experiments))
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is slow")
+	}
+	set := quickSet(t)
+	m := quickMachine()
+	for _, e := range Experiments {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(set, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) < len(set) {
+				t.Fatalf("table has %d rows for %d benches", len(tbl.Rows), len(set))
+			}
+			out := tbl.Render()
+			for _, c := range set {
+				if !strings.Contains(out, c.Name) {
+					t.Errorf("table missing bench %s:\n%s", c.Name, out)
+				}
+			}
+		})
+	}
+}
+
+func TestRunAllWritesEverySection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is slow")
+	}
+	set := quickSet(t)
+	var sb strings.Builder
+	if err := RunAll(set, quickMachine(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, e := range Experiments {
+		if !strings.Contains(out, "## "+e.ID) {
+			t.Errorf("output missing section %s", e.ID)
+		}
+	}
+}
+
+func TestAIPC(t *testing.T) {
+	if AIPC(100, 50) != 2.0 || AIPC(100, 0) != 0 {
+		t.Error("AIPC arithmetic wrong")
+	}
+}
+
+func TestMachineOptionsPolicy(t *testing.T) {
+	set := quickSet(t)
+	m := DefaultMachineOptions()
+	pol := m.NewPolicy(set[0].Wave)
+	if pol.Name() != m.Policy {
+		t.Errorf("policy %q != %q", pol.Name(), m.Policy)
+	}
+}

@@ -1,0 +1,284 @@
+package interp
+
+import (
+	"testing"
+
+	"wavescalar/internal/cfgir"
+	"wavescalar/internal/isa"
+	"wavescalar/internal/lang"
+	"wavescalar/internal/testprogs"
+	"wavescalar/internal/wavec"
+)
+
+// compileVariants builds the dataflow program under each compilation mode.
+func compileVariants(t *testing.T, src string) map[string]*isa.Program {
+	t.Helper()
+	out := make(map[string]*isa.Program)
+	for name, cfg := range map[string]struct {
+		optimize  bool
+		ifConvert bool
+	}{
+		"plain":      {false, false},
+		"opt":        {true, false},
+		"opt+select": {true, true},
+	} {
+		f, err := lang.ParseAndCheck(src)
+		if err != nil {
+			t.Fatalf("frontend: %v", err)
+		}
+		p, err := cfgir.Build(f)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		for _, fn := range p.Funcs {
+			fn.Compact()
+		}
+		if cfg.optimize {
+			p.Optimize()
+		}
+		wp, err := wavec.Compile(p, wavec.Options{IfConvert: cfg.ifConvert})
+		if err != nil {
+			t.Fatalf("%s: wavec: %v", name, err)
+		}
+		out[name] = wp
+	}
+	return out
+}
+
+// TestDataflowMatchesEvaluator is the central differential test: for every
+// corpus program and every compilation mode, the dataflow machine must
+// produce the AST evaluator's result and final memory image.
+func TestDataflowMatchesEvaluator(t *testing.T) {
+	for _, c := range testprogs.Corpus {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			f, err := lang.ParseAndCheck(c.Src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev := lang.NewEvaluator(f, 0)
+			want, err := ev.Run()
+			if err != nil {
+				t.Fatalf("evaluator: %v", err)
+			}
+			for mode, wp := range compileVariants(t, c.Src) {
+				m := New(wp, 0)
+				got, err := m.Run()
+				if err != nil {
+					t.Errorf("%s: %v", mode, err)
+					continue
+				}
+				if got != want {
+					t.Errorf("%s: result %d, want %d", mode, got, want)
+				}
+				wantMem := ev.Memory()
+				gotMem := m.Memory()
+				for i := range wantMem {
+					if gotMem[i] != wantMem[i] {
+						t.Errorf("%s: memory[%d] = %d, want %d", mode, i, gotMem[i], wantMem[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+func compileOne(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	f, err := lang.ParseAndCheck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cfgir.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range p.Funcs {
+		fn.Compact()
+	}
+	p.Optimize()
+	wp, err := wavec.Compile(p, wavec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wp
+}
+
+func TestHeavyPrograms(t *testing.T) {
+	for _, c := range testprogs.Heavy {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			want, err := lang.EvalProgram(c.Src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wp := compileOne(t, c.Src)
+			got, err := New(wp, 0).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("got %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestLoopIterationsOverlap(t *testing.T) {
+	// The dataflow machine should expose loop parallelism: wave numbers let
+	// iterations coexist. We check wave advances happened and that the
+	// token queue grew beyond a single iteration's worth.
+	src := "global a[64];\nfunc main() { for var i = 0; i < 64; i = i + 1 { a[i] = i * 7; } var s = 0; for var i = 0; i < 64; i = i + 1 { s = s + a[i]; } return s; }"
+	wp := compileOne(t, src)
+	m := New(wp, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.WaveAdvance == 0 {
+		t.Error("no wave advances in a loopy program")
+	}
+	if st.Steers == 0 {
+		t.Error("no steers in a branchy program")
+	}
+	if m.MaxQueue() < 4 {
+		t.Errorf("suspiciously little parallelism: max queue %d", m.MaxQueue())
+	}
+}
+
+func TestMemoryOrderingStats(t *testing.T) {
+	src := "global a[4];\nfunc main() { a[0] = 1; a[1] = a[0] + 1; a[0] = a[1] + 1; return a[0] * 10 + a[1]; }"
+	wp := compileOne(t, src)
+	m := New(wp, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ms := m.MemStats()
+	// Loads: a[0] and a[1] feeding the stores, then a[0] and a[1] in the
+	// return expression (stores in between defeat CSE). Stores: three.
+	if ms.Loads != 4 || ms.Stores != 3 {
+		t.Errorf("loads=%d stores=%d, want 4/3", ms.Loads, ms.Stores)
+	}
+	if ms.Submitted != ms.Issued {
+		t.Errorf("submitted %d != issued %d", ms.Submitted, ms.Issued)
+	}
+	if ms.Ends == 0 {
+		t.Error("no context end recorded")
+	}
+}
+
+func TestProfileCollection(t *testing.T) {
+	src := `func main() { var s = 0; for var i = 0; i < 8; i = i + 1 { s = s + i; } return s; }`
+	wp := compileOne(t, src)
+	m := New(wp, 0)
+	prof := m.CollectProfile(16)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalFires == 0 || prof.TotalTokens == 0 {
+		t.Fatal("profile is empty")
+	}
+	if prof.TotalFires != m.Stats().Fired {
+		t.Errorf("profile fires %d != stats %d", prof.TotalFires, m.Stats().Fired)
+	}
+	// The loop body instructions should have fired ~8 times.
+	var maxFires uint64
+	for _, n := range prof.Fires {
+		if n > maxFires {
+			maxFires = n
+		}
+	}
+	if maxFires < 8 {
+		t.Errorf("hottest instruction fired %d times, want >= 8", maxFires)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	wp := compileOne(t, `func main() { var i = 0; while i < 1000000 { i = i + 1; } return i; }`)
+	if _, err := New(wp, 100).Run(); err != ErrFuel {
+		t.Fatalf("got %v, want ErrFuel", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	wp := compileOne(t, `func f(x) { return x + 1; } func main() { return f(f(f(0))); }`)
+	m := New(wp, 0)
+	got, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("result = %d", got)
+	}
+	st := m.Stats()
+	if st.Calls != 3 {
+		t.Errorf("calls = %d, want 3", st.Calls)
+	}
+	if st.Fired == 0 || st.Tokens < st.Fired {
+		t.Errorf("fired=%d tokens=%d look wrong", st.Fired, st.Tokens)
+	}
+}
+
+func TestWaveAnnotationShapes(t *testing.T) {
+	// Inspect the compiled binary of a memory-heavy loop: every Load/Store
+	// must carry an annotation, every function that touches memory must end
+	// its returns with MemEnd, and wave numbers must be in range.
+	wp := compileOne(t, "global a[8];\nfunc main() { for var i = 0; i < 8; i = i + 1 { a[i] = i; } return a[3]; }")
+	f := &wp.Funcs[wp.Entry]
+	if !f.TouchesMemory {
+		t.Fatal("main should touch memory")
+	}
+	loads, stores, nops, ends := 0, 0, 0, 0
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		switch in.Op {
+		case isa.OpLoad:
+			loads++
+		case isa.OpStore:
+			stores++
+		case isa.OpMemNop:
+			nops++
+		case isa.OpReturn:
+			if in.Mem.Kind != isa.MemEnd {
+				t.Error("return missing MemEnd")
+			}
+			ends++
+		}
+		if in.Wave < 0 || in.Wave >= f.NumWaves {
+			t.Errorf("instruction %d wave %d out of range", i, in.Wave)
+		}
+	}
+	if loads != 1 || stores != 1 {
+		t.Errorf("loads=%d stores=%d, want 1/1", loads, stores)
+	}
+	if nops == 0 {
+		t.Error("expected wave-exit / block memory nops")
+	}
+	if f.NumWaves < 2 {
+		t.Errorf("loopy function has %d waves, want >= 2", f.NumWaves)
+	}
+}
+
+func BenchmarkInterpMatmul(b *testing.B) {
+	f, err := lang.ParseAndCheck(testprogs.Heavy[2].Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := cfgir.Build(f)
+	for _, fn := range p.Funcs {
+		fn.Compact()
+	}
+	p.Optimize()
+	wp, err := wavec.Compile(p, wavec.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(wp, 0).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary format: a compact serialization of Program, so WaveScalar binaries
+// can be written to disk and loaded without recompiling. Layout (all
+// integers varint-encoded except the magic):
+//
+//	magic "WVSC" | version | memwords | #globals {name addr size #init init...}
+//	entry | #funcs { name flags numwaves #params params...
+//	                 #instrs { op imm immmask immvals target targetpad
+//	                           mem(kind seq pred succ) wave
+//	                           #dests {instr port} #destsF {instr port} comment } }
+//
+// Decode validates the result, so a corrupted stream cannot produce a
+// structurally invalid program.
+
+var magic = [4]byte{'W', 'V', 'S', 'C'}
+
+const formatVersion = 1
+
+type encoder struct {
+	w   *bytes.Buffer
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) uv(v uint64) {
+	n := binary.PutUvarint(e.buf[:], v)
+	e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) sv(v int64) {
+	n := binary.PutVarint(e.buf[:], v)
+	e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.uv(uint64(len(s)))
+	e.w.WriteString(s)
+}
+
+// Encode serializes a program.
+func Encode(p *Program) []byte {
+	e := &encoder{w: &bytes.Buffer{}}
+	e.w.Write(magic[:])
+	e.uv(formatVersion)
+	e.sv(p.MemWords)
+	e.uv(uint64(len(p.Globals)))
+	for _, g := range p.Globals {
+		e.str(g.Name)
+		e.sv(g.Addr)
+		e.sv(g.Size)
+		e.uv(uint64(len(g.Init)))
+		for _, v := range g.Init {
+			e.sv(v)
+		}
+	}
+	e.sv(int64(p.Entry))
+	e.uv(uint64(len(p.Funcs)))
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		e.str(f.Name)
+		flags := uint64(0)
+		if f.TouchesMemory {
+			flags |= 1
+		}
+		e.uv(flags)
+		e.sv(int64(f.NumWaves))
+		e.uv(uint64(len(f.Params)))
+		for _, pad := range f.Params {
+			e.sv(int64(pad))
+		}
+		e.uv(uint64(len(f.Instrs)))
+		for ii := range f.Instrs {
+			in := &f.Instrs[ii]
+			e.uv(uint64(in.Op))
+			e.sv(in.Imm)
+			e.uv(uint64(in.ImmMask))
+			for _, v := range in.ImmVals {
+				e.sv(v)
+			}
+			e.sv(int64(in.Target))
+			e.sv(int64(in.TargetPad))
+			e.uv(uint64(in.Mem.Kind))
+			e.sv(int64(in.Mem.Seq))
+			e.sv(int64(in.Mem.Pred))
+			e.sv(int64(in.Mem.Succ))
+			e.sv(int64(in.Wave))
+			e.uv(uint64(len(in.Dests)))
+			for _, d := range in.Dests {
+				e.sv(int64(d.Instr))
+				e.uv(uint64(d.Port))
+			}
+			e.uv(uint64(len(in.DestsFalse)))
+			for _, d := range in.DestsFalse {
+				e.sv(int64(d.Instr))
+				e.uv(uint64(d.Port))
+			}
+			e.str(in.Comment)
+		}
+	}
+	return e.w.Bytes()
+}
+
+type decoder struct {
+	r   *bytes.Reader
+	err error
+}
+
+func (d *decoder) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *decoder) sv() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uv()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(d.r.Len()) {
+		d.err = fmt.Errorf("isa: string length %d exceeds remaining input", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = err
+		return ""
+	}
+	return string(b)
+}
+
+// count reads a collection length, bounding it by what could possibly fit
+// in the remaining input so corrupted streams cannot trigger giant
+// allocations.
+func (d *decoder) count(minBytesPer int) int {
+	n := d.uv()
+	if d.err != nil {
+		return 0
+	}
+	if minBytesPer < 1 {
+		minBytesPer = 1
+	}
+	if n > uint64(d.r.Len()/minBytesPer)+1 {
+		d.err = fmt.Errorf("isa: count %d exceeds remaining input", n)
+		return 0
+	}
+	return int(n)
+}
+
+// Decode deserializes and validates a program.
+func Decode(data []byte) (*Program, error) {
+	if len(data) < 5 || !bytes.Equal(data[:4], magic[:]) {
+		return nil, fmt.Errorf("isa: not a WaveScalar binary (bad magic)")
+	}
+	d := &decoder{r: bytes.NewReader(data[4:])}
+	if v := d.uv(); v != formatVersion {
+		return nil, fmt.Errorf("isa: unsupported format version %d", v)
+	}
+	p := &Program{}
+	p.MemWords = d.sv()
+	ng := d.count(3)
+	for i := 0; i < ng && d.err == nil; i++ {
+		g := Global{Name: d.str(), Addr: d.sv(), Size: d.sv()}
+		ni := d.count(1)
+		for j := 0; j < ni && d.err == nil; j++ {
+			g.Init = append(g.Init, d.sv())
+		}
+		p.Globals = append(p.Globals, g)
+	}
+	p.Entry = FuncID(d.sv())
+	nf := d.count(4)
+	for i := 0; i < nf && d.err == nil; i++ {
+		f := Function{Name: d.str()}
+		flags := d.uv()
+		f.TouchesMemory = flags&1 != 0
+		f.NumWaves = int32(d.sv())
+		np := d.count(1)
+		for j := 0; j < np && d.err == nil; j++ {
+			f.Params = append(f.Params, InstrID(d.sv()))
+		}
+		nin := d.count(8)
+		for j := 0; j < nin && d.err == nil; j++ {
+			var in Instruction
+			in.Op = Opcode(d.uv())
+			in.Imm = d.sv()
+			in.ImmMask = uint8(d.uv())
+			for k := range in.ImmVals {
+				in.ImmVals[k] = d.sv()
+			}
+			in.Target = FuncID(d.sv())
+			in.TargetPad = int32(d.sv())
+			in.Mem.Kind = MemKind(d.uv())
+			in.Mem.Seq = int32(d.sv())
+			in.Mem.Pred = int32(d.sv())
+			in.Mem.Succ = int32(d.sv())
+			in.Wave = int32(d.sv())
+			ndst := d.count(2)
+			for k := 0; k < ndst && d.err == nil; k++ {
+				in.Dests = append(in.Dests, Dest{Instr: InstrID(d.sv()), Port: uint8(d.uv())})
+			}
+			nfd := d.count(2)
+			for k := 0; k < nfd && d.err == nil; k++ {
+				in.DestsFalse = append(in.DestsFalse, Dest{Instr: InstrID(d.sv()), Port: uint8(d.uv())})
+			}
+			in.Comment = d.str()
+			f.Instrs = append(f.Instrs, in)
+		}
+		p.Funcs = append(p.Funcs, f)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("isa: decode: %w", d.err)
+	}
+	if d.r.Len() != 0 {
+		return nil, fmt.Errorf("isa: %d trailing bytes after program", d.r.Len())
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("isa: decoded program invalid: %w", err)
+	}
+	return p, nil
+}

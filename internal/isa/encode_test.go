@@ -1,0 +1,148 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func richProgram() *Program {
+	f := Function{
+		Name: "main",
+		Instrs: []Instruction{
+			{Op: OpNop, Dests: []Dest{{Instr: 1, Port: 0}}, Comment: "pad 0"},
+			{Op: OpConst, Imm: -42, Dests: []Dest{{Instr: 2, Port: 0}, {Instr: 3, Port: 0}}},
+			{Op: OpSteer, Dests: []Dest{{Instr: 3, Port: 0}}, DestsFalse: []Dest{{Instr: 4, Port: 0}}},
+			{Op: OpLoad, Mem: MemOrder{Kind: MemLoad, Seq: 0, Pred: SeqStart, Succ: 1},
+				Dests: []Dest{{Instr: 4, Port: 0}}},
+			{Op: OpReturn, Mem: MemOrder{Kind: MemEnd, Seq: 1, Pred: 0, Succ: SeqEnd}},
+		},
+		Params:        []InstrID{0},
+		NumWaves:      1,
+		TouchesMemory: true,
+	}
+	// Give the steer a second input and immediates on the ALU-ish slot.
+	f.Instrs[2].ImmMask = 1 << 1
+	f.Instrs[2].ImmVals[1] = 77
+	f.Instrs[1].Dests = f.Instrs[1].Dests[:1] // keep dest lists modest
+
+	helper := Function{
+		Name: "helper",
+		Instrs: []Instruction{
+			{Op: OpNop, Dests: []Dest{{Instr: 1, Port: 0}}},
+			{Op: OpReturn},
+		},
+		Params:   []InstrID{0},
+		NumWaves: 1,
+	}
+	return &Program{
+		Funcs:    []Function{f, helper},
+		Entry:    0,
+		MemWords: 32,
+		Globals: []Global{
+			{Name: "a", Addr: 0, Size: 16, Init: []int64{1, -2, 3}},
+			{Name: "b", Addr: 16, Size: 16},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := richProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	data := Encode(p)
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(p), normalize(back)) {
+		t.Fatalf("round trip changed program:\n%#v\nvs\n%#v", p, back)
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form for DeepEqual.
+func normalize(p *Program) *Program {
+	q := *p
+	for fi := range q.Funcs {
+		f := &q.Funcs[fi]
+		for ii := range f.Instrs {
+			in := &f.Instrs[ii]
+			if len(in.Dests) == 0 {
+				in.Dests = nil
+			}
+			if len(in.DestsFalse) == 0 {
+				in.DestsFalse = nil
+			}
+		}
+	}
+	for gi := range q.Globals {
+		if len(q.Globals[gi].Init) == 0 {
+			q.Globals[gi].Init = nil
+		}
+	}
+	return &q
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("NOPE1234"),
+		append([]byte("WVSC"), 99), // bad version
+	}
+	for _, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("Decode(%q) succeeded", c)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncationsAndFlips(t *testing.T) {
+	data := Encode(richProgram())
+	// Every truncation must fail cleanly (no panic, no success).
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+	// Random single-byte corruptions must never panic and must either fail
+	// or still validate.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		mut := append([]byte(nil), data...)
+		mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		p, err := Decode(mut)
+		if err == nil {
+			if verr := p.Validate(); verr != nil {
+				t.Fatalf("corrupted stream decoded to invalid program: %v", verr)
+			}
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	p := richProgram()
+	if string(Encode(p)) != string(Encode(p)) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	// Property: tweaking immediates and wave counts round-trips exactly.
+	prop := func(imm int64, waves uint8) bool {
+		p := richProgram()
+		p.Funcs[0].Instrs[1].Imm = imm
+		p.Funcs[0].NumWaves = int32(waves%8) + 1
+		back, err := Decode(Encode(p))
+		if err != nil {
+			return false
+		}
+		return back.Funcs[0].Instrs[1].Imm == imm &&
+			back.Funcs[0].NumWaves == p.Funcs[0].NumWaves
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

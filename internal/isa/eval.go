@@ -1,0 +1,82 @@
+package isa
+
+// EvalALU computes the result of a pure arithmetic, logic, or comparison
+// opcode. Every execution engine in the repository (reference interpreter,
+// WaveCache simulator, linear emulator, out-of-order core) routes integer
+// semantics through this single function so they cannot diverge.
+//
+// Division and remainder by zero yield 0: simulators execute down dataflow
+// paths whose predicates later prune them, so arithmetic must be total.
+// Shift counts are masked to 6 bits, matching a 64-bit barrel shifter.
+func EvalALU(op Opcode, a, b int64) int64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		if b == 0 {
+			return 0
+		}
+		if a == minInt64 && b == -1 {
+			return minInt64
+		}
+		return a / b
+	case OpRem:
+		if b == 0 {
+			return 0
+		}
+		if a == minInt64 && b == -1 {
+			return 0
+		}
+		return a % b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (uint64(b) & 63)
+	case OpShr:
+		return a >> (uint64(b) & 63)
+	case OpNeg:
+		return -a
+	case OpNot:
+		return ^a
+	case OpEq:
+		return b2i(a == b)
+	case OpNe:
+		return b2i(a != b)
+	case OpLt:
+		return b2i(a < b)
+	case OpLe:
+		return b2i(a <= b)
+	case OpGt:
+		return b2i(a > b)
+	case OpGe:
+		return b2i(a >= b)
+	}
+	panic("isa: EvalALU called with non-ALU opcode " + op.String())
+}
+
+// IsALU reports whether the opcode is handled by EvalALU.
+func IsALU(op Opcode) bool {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpNeg, OpNot, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+const minInt64 = -1 << 63
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,161 @@
+package lang
+
+// File is a parsed wsl source file.
+type File struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a global array (Size >= 1; scalars have Size 1 and are
+// referenced without an index).
+type GlobalDecl struct {
+	Name string
+	Size int64
+	Init []int64
+	Pos  Pos
+}
+
+// FuncDecl declares a function. All parameters and the return value are
+// int64.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Pos    Pos
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list with its own variable scope.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarStmt declares (and optionally initializes) a local variable.
+type VarStmt struct {
+	Name string
+	Init Expr // nil means zero
+	Pos  Pos
+}
+
+// AssignStmt assigns to a local variable or scalar global.
+type AssignStmt struct {
+	Name string
+	Val  Expr
+	Pos  Pos
+}
+
+// StoreStmt assigns to an element of a global array: Name[Index] = Val.
+type StoreStmt struct {
+	Name  string
+	Index Expr
+	Val   Expr
+	Pos   Pos
+}
+
+// IfStmt is a conditional; Else may be nil, a *Block, or another *IfStmt
+// (for "else if" chains).
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt
+	Pos  Pos
+}
+
+// WhileStmt loops while Cond is nonzero.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Pos  Pos
+}
+
+// ForStmt is the three-clause loop; any clause may be nil.
+type ForStmt struct {
+	Init Stmt // VarStmt, AssignStmt, or StoreStmt
+	Cond Expr
+	Post Stmt // AssignStmt or StoreStmt
+	Body *Block
+	Pos  Pos
+}
+
+// ReturnStmt returns from the enclosing function (value 0 if Val is nil).
+type ReturnStmt struct {
+	Val Expr
+	Pos Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*Block) stmtNode()        {}
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*StoreStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+	Pos Pos
+}
+
+// Ident references a local variable or scalar global.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr reads an element of a global array: Name[Index].
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Pos   Pos
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// UnaryExpr applies -, !, or ~.
+type UnaryExpr struct {
+	Op  TokKind
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr applies a binary operator. TokAndAnd and TokOrOr short-circuit.
+type BinaryExpr struct {
+	Op   TokKind
+	L, R Expr
+	Pos  Pos
+}
+
+func (*IntLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}

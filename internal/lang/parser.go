@@ -1,0 +1,379 @@
+package lang
+
+import "fmt"
+
+// Parser builds a File from source text. It is a hand-written recursive
+// descent parser with one token of lookahead and precedence-climbing
+// expression parsing.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs []error
+}
+
+// Parse parses a complete source file.
+func Parse(src string) (*File, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	f := p.parseFile()
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	return f, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.advance(); return t }
+
+func (p *Parser) advance() {
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...any) {
+	p.errs = append(p.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	// Error recovery: skip to the next statement boundary.
+	for p.cur().Kind != TokEOF && p.cur().Kind != TokSemi && p.cur().Kind != TokRBrace {
+		p.advance()
+	}
+	if p.cur().Kind == TokSemi {
+		p.advance()
+	}
+}
+
+func (p *Parser) expect(k TokKind) Token {
+	t := p.cur()
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t.Kind)
+		return Token{Kind: k, Pos: t.Pos}
+	}
+	p.advance()
+	return t
+}
+
+func (p *Parser) parseFile() *File {
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		switch p.cur().Kind {
+		case TokGlobal:
+			if g := p.parseGlobal(); g != nil {
+				f.Globals = append(f.Globals, g)
+			}
+		case TokFunc:
+			if fn := p.parseFunc(); fn != nil {
+				f.Funcs = append(f.Funcs, fn)
+			}
+		default:
+			p.errorf(p.cur().Pos, "expected 'global' or 'func' at top level, found %s", p.cur().Kind)
+			if p.cur().Kind == TokEOF {
+				return f
+			}
+			p.advance()
+		}
+		if len(p.errs) > 8 {
+			break // too many errors; stop digging
+		}
+	}
+	return f
+}
+
+// parseGlobal parses:
+//
+//	global name ;                      (scalar, zero)
+//	global name = 7 ;                  (scalar, initialized)
+//	global name [ 64 ] ;               (array, zeroed)
+//	global name [ 4 ] = { 1, 2, 3 } ;  (array, partially initialized)
+func (p *Parser) parseGlobal() *GlobalDecl {
+	kw := p.expect(TokGlobal)
+	name := p.expect(TokIdent)
+	g := &GlobalDecl{Name: name.Text, Size: 1, Pos: kw.Pos}
+	if p.cur().Kind == TokLBracket {
+		p.advance()
+		sz := p.expect(TokInt)
+		g.Size = sz.Int
+		if g.Size < 1 {
+			p.errorf(sz.Pos, "array %q must have positive size", g.Name)
+			return nil
+		}
+		p.expect(TokRBracket)
+	}
+	if p.cur().Kind == TokAssign {
+		p.advance()
+		if p.cur().Kind == TokLBrace {
+			p.advance()
+			for p.cur().Kind != TokRBrace && p.cur().Kind != TokEOF {
+				neg := false
+				if p.cur().Kind == TokMinus {
+					neg = true
+					p.advance()
+				}
+				v := p.expect(TokInt)
+				val := v.Int
+				if neg {
+					val = -val
+				}
+				g.Init = append(g.Init, val)
+				if p.cur().Kind != TokComma {
+					break
+				}
+				p.advance()
+			}
+			p.expect(TokRBrace)
+			if int64(len(g.Init)) > g.Size {
+				p.errorf(name.Pos, "global %q has %d initializers for size %d", g.Name, len(g.Init), g.Size)
+				return nil
+			}
+		} else {
+			neg := false
+			if p.cur().Kind == TokMinus {
+				neg = true
+				p.advance()
+			}
+			v := p.expect(TokInt)
+			val := v.Int
+			if neg {
+				val = -val
+			}
+			g.Init = []int64{val}
+		}
+	}
+	p.expect(TokSemi)
+	return g
+}
+
+func (p *Parser) parseFunc() *FuncDecl {
+	kw := p.expect(TokFunc)
+	name := p.expect(TokIdent)
+	fn := &FuncDecl{Name: name.Text, Pos: kw.Pos}
+	p.expect(TokLParen)
+	for p.cur().Kind == TokIdent {
+		fn.Params = append(fn.Params, p.next().Text)
+		if p.cur().Kind != TokComma {
+			break
+		}
+		p.advance()
+	}
+	p.expect(TokRParen)
+	fn.Body = p.parseBlock()
+	return fn
+}
+
+func (p *Parser) parseBlock() *Block {
+	lb := p.expect(TokLBrace)
+	b := &Block{Pos: lb.Pos}
+	for p.cur().Kind != TokRBrace && p.cur().Kind != TokEOF {
+		before := p.pos
+		if s := p.parseStmt(); s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+		if p.pos == before {
+			p.advance() // guarantee progress on malformed input
+		}
+	}
+	p.expect(TokRBrace)
+	return b
+}
+
+func (p *Parser) parseStmt() Stmt {
+	switch p.cur().Kind {
+	case TokVar:
+		s := p.parseVar()
+		p.expect(TokSemi)
+		return s
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		kw := p.next()
+		cond := p.parseExpr()
+		body := p.parseBlock()
+		return &WhileStmt{Cond: cond, Body: body, Pos: kw.Pos}
+	case TokFor:
+		return p.parseFor()
+	case TokReturn:
+		kw := p.next()
+		var val Expr
+		if p.cur().Kind != TokSemi {
+			val = p.parseExpr()
+		}
+		p.expect(TokSemi)
+		return &ReturnStmt{Val: val, Pos: kw.Pos}
+	case TokBreak:
+		kw := p.next()
+		p.expect(TokSemi)
+		return &BreakStmt{Pos: kw.Pos}
+	case TokContinue:
+		kw := p.next()
+		p.expect(TokSemi)
+		return &ContinueStmt{Pos: kw.Pos}
+	case TokLBrace:
+		return p.parseBlock()
+	default:
+		s := p.parseSimple()
+		p.expect(TokSemi)
+		return s
+	}
+}
+
+// parseVar parses a 'var' declaration without the trailing semicolon.
+func (p *Parser) parseVar() Stmt {
+	kw := p.expect(TokVar)
+	name := p.expect(TokIdent)
+	s := &VarStmt{Name: name.Text, Pos: kw.Pos}
+	if p.cur().Kind == TokAssign {
+		p.advance()
+		s.Init = p.parseExpr()
+	}
+	return s
+}
+
+// parseSimple parses an assignment, array store, or expression statement
+// without the trailing semicolon (shared by statements and for-clauses).
+func (p *Parser) parseSimple() Stmt {
+	if p.cur().Kind == TokIdent {
+		id := p.cur()
+		nextKind := p.toks[p.pos+1].Kind
+		switch nextKind {
+		case TokAssign:
+			p.advance()
+			p.advance()
+			return &AssignStmt{Name: id.Text, Val: p.parseExpr(), Pos: id.Pos}
+		case TokLBracket:
+			// Could be a store (a[i] = v) or a read used as an expression
+			// statement; disambiguate by scanning for '=' after the
+			// matching bracket.
+			save := p.pos
+			p.advance()
+			p.advance()
+			idx := p.parseExpr()
+			p.expect(TokRBracket)
+			if p.cur().Kind == TokAssign {
+				p.advance()
+				return &StoreStmt{Name: id.Text, Index: idx, Val: p.parseExpr(), Pos: id.Pos}
+			}
+			p.pos = save
+		}
+	}
+	e := p.parseExpr()
+	return &ExprStmt{X: e, Pos: p.cur().Pos}
+}
+
+func (p *Parser) parseIf() Stmt {
+	kw := p.expect(TokIf)
+	cond := p.parseExpr()
+	then := p.parseBlock()
+	s := &IfStmt{Cond: cond, Then: then, Pos: kw.Pos}
+	if p.cur().Kind == TokElse {
+		p.advance()
+		if p.cur().Kind == TokIf {
+			s.Else = p.parseIf()
+		} else {
+			s.Else = p.parseBlock()
+		}
+	}
+	return s
+}
+
+func (p *Parser) parseFor() Stmt {
+	kw := p.expect(TokFor)
+	s := &ForStmt{Pos: kw.Pos}
+	if p.cur().Kind != TokSemi {
+		if p.cur().Kind == TokVar {
+			s.Init = p.parseVar()
+		} else {
+			s.Init = p.parseSimple()
+		}
+	}
+	p.expect(TokSemi)
+	if p.cur().Kind != TokSemi {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(TokSemi)
+	if p.cur().Kind != TokLBrace {
+		s.Post = p.parseSimple()
+	}
+	s.Body = p.parseBlock()
+	return s
+}
+
+// Binary operator precedence, loosest first.
+var binPrec = map[TokKind]int{
+	TokOrOr:   1,
+	TokAndAnd: 2,
+	TokPipe:   3,
+	TokCaret:  4,
+	TokAmp:    5,
+	TokEq:     6, TokNe: 6,
+	TokLt: 7, TokLe: 7, TokGt: 7, TokGe: 7,
+	TokShl: 8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+func (p *Parser) parseExpr() Expr { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) Expr {
+	left := p.parseUnary()
+	for {
+		op := p.cur().Kind
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec {
+			return left
+		}
+		pos := p.cur().Pos
+		p.advance()
+		right := p.parseBinary(prec + 1)
+		left = &BinaryExpr{Op: op, L: left, R: right, Pos: pos}
+	}
+}
+
+func (p *Parser) parseUnary() Expr {
+	switch p.cur().Kind {
+	case TokMinus, TokBang, TokTilde:
+		t := p.next()
+		return &UnaryExpr{Op: t.Kind, X: p.parseUnary(), Pos: t.Pos}
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.advance()
+		return &IntLit{Val: t.Int, Pos: t.Pos}
+	case TokIdent:
+		p.advance()
+		switch p.cur().Kind {
+		case TokLParen:
+			p.advance()
+			call := &CallExpr{Name: t.Text, Pos: t.Pos}
+			for p.cur().Kind != TokRParen && p.cur().Kind != TokEOF {
+				call.Args = append(call.Args, p.parseExpr())
+				if p.cur().Kind != TokComma {
+					break
+				}
+				p.advance()
+			}
+			p.expect(TokRParen)
+			return call
+		case TokLBracket:
+			p.advance()
+			idx := p.parseExpr()
+			p.expect(TokRBracket)
+			return &IndexExpr{Name: t.Text, Index: idx, Pos: t.Pos}
+		}
+		return &Ident{Name: t.Text, Pos: t.Pos}
+	case TokLParen:
+		p.advance()
+		e := p.parseExpr()
+		p.expect(TokRParen)
+		return e
+	default:
+		p.errorf(t.Pos, "expected expression, found %s", t.Kind)
+		return &IntLit{Val: 0, Pos: t.Pos}
+	}
+}

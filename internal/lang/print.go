@@ -1,0 +1,211 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrintFile renders an AST back to wsl source. The output is canonical
+// (one statement per line, fully parenthesized expressions) and reparses
+// to a semantically identical program — the round-trip property the
+// printer tests enforce. Its main consumers are humans debugging the
+// unroll and if-conversion transformations.
+func PrintFile(f *File) string {
+	p := &printer{}
+	for _, g := range f.Globals {
+		p.global(g)
+	}
+	for i, fn := range f.Funcs {
+		if i > 0 || len(f.Globals) > 0 {
+			p.b.WriteByte('\n')
+		}
+		p.function(fn)
+	}
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("\t", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) global(g *GlobalDecl) {
+	switch {
+	case g.Size == 1 && len(g.Init) == 0:
+		p.line("global %s;", g.Name)
+	case g.Size == 1:
+		p.line("global %s = %d;", g.Name, g.Init[0])
+	case len(g.Init) == 0:
+		p.line("global %s[%d];", g.Name, g.Size)
+	default:
+		vals := make([]string, len(g.Init))
+		for i, v := range g.Init {
+			vals[i] = fmt.Sprintf("%d", v)
+		}
+		p.line("global %s[%d] = {%s};", g.Name, g.Size, strings.Join(vals, ", "))
+	}
+}
+
+func (p *printer) function(fn *FuncDecl) {
+	p.line("func %s(%s) {", fn.Name, strings.Join(fn.Params, ", "))
+	p.indent++
+	for _, s := range fn.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.line("{")
+		p.indent++
+		for _, inner := range s.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *VarStmt:
+		if s.Init == nil {
+			p.line("var %s;", s.Name)
+		} else {
+			p.line("var %s = %s;", s.Name, ExprString(s.Init))
+		}
+	case *AssignStmt:
+		p.line("%s = %s;", s.Name, ExprString(s.Val))
+	case *StoreStmt:
+		p.line("%s[%s] = %s;", s.Name, ExprString(s.Index), ExprString(s.Val))
+	case *IfStmt:
+		p.ifChain(s)
+	case *WhileStmt:
+		p.line("while %s {", ExprString(s.Cond))
+		p.indent++
+		for _, inner := range s.Body.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *ForStmt:
+		init, post := "", ""
+		if s.Init != nil {
+			init = p.simpleString(s.Init)
+		}
+		if s.Post != nil {
+			post = p.simpleString(s.Post)
+		}
+		cond := ""
+		if s.Cond != nil {
+			cond = " " + ExprString(s.Cond)
+		}
+		p.line("for %s;%s; %s {", init, cond, post)
+		p.indent++
+		for _, inner := range s.Body.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *ReturnStmt:
+		if s.Val == nil {
+			p.line("return;")
+		} else {
+			p.line("return %s;", ExprString(s.Val))
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *ExprStmt:
+		p.line("%s;", ExprString(s.X))
+	default:
+		panic(fmt.Sprintf("lang: cannot print %T", s))
+	}
+}
+
+// ifChain prints if / else-if / else without extra nesting.
+func (p *printer) ifChain(s *IfStmt) {
+	p.line("if %s {", ExprString(s.Cond))
+	for {
+		p.indent++
+		for _, inner := range s.Then.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		switch e := s.Else.(type) {
+		case nil:
+			p.line("}")
+			return
+		case *IfStmt:
+			p.line("} else if %s {", ExprString(e.Cond))
+			s = e
+		case *Block:
+			p.line("} else {")
+			p.indent++
+			for _, inner := range e.Stmts {
+				p.stmt(inner)
+			}
+			p.indent--
+			p.line("}")
+			return
+		default:
+			panic(fmt.Sprintf("lang: cannot print else %T", s.Else))
+		}
+	}
+}
+
+// simpleString renders a for-clause statement without terminator.
+func (p *printer) simpleString(s Stmt) string {
+	switch s := s.(type) {
+	case *VarStmt:
+		if s.Init == nil {
+			return fmt.Sprintf("var %s", s.Name)
+		}
+		return fmt.Sprintf("var %s = %s", s.Name, ExprString(s.Init))
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s", s.Name, ExprString(s.Val))
+	case *StoreStmt:
+		return fmt.Sprintf("%s[%s] = %s", s.Name, ExprString(s.Index), ExprString(s.Val))
+	case *ExprStmt:
+		return ExprString(s.X)
+	default:
+		panic(fmt.Sprintf("lang: cannot print for-clause %T", s))
+	}
+}
+
+var tokOpText = map[TokKind]string{
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+	TokAmp: "&", TokPipe: "|", TokCaret: "^", TokShl: "<<", TokShr: ">>",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokAndAnd: "&&", TokOrOr: "||", TokBang: "!", TokTilde: "~",
+}
+
+// ExprString renders an expression, fully parenthesized so precedence is
+// never ambiguous.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Val)
+	case *Ident:
+		return e.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", e.Name, ExprString(e.Index))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	case *UnaryExpr:
+		return fmt.Sprintf("%s(%s)", tokOpText[e.Op], ExprString(e.X))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.L), tokOpText[e.Op], ExprString(e.R))
+	default:
+		panic(fmt.Sprintf("lang: cannot print expression %T", e))
+	}
+}

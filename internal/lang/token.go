@@ -1,0 +1,340 @@
+// Package lang implements the front end for wsl ("WaveScalar language"), the
+// small imperative language this repository compiles to WaveScalar dataflow
+// binaries and to the linear baseline ISA.
+//
+// wsl is a C-like subset chosen to exercise everything the WaveScalar paper
+// cares about — loops, branches, function calls, recursion, and array
+// memory traffic — while staying implementable from scratch:
+//
+//	global mem[1024];            // 64-bit word arrays in a flat address space
+//	global seed = 11;            // scalar global (size-1 array)
+//
+//	func fib(n) {
+//	    if n < 2 { return n; }
+//	    return fib(n-1) + fib(n-2);
+//	}
+//
+//	func main() {
+//	    var acc = 0;
+//	    for var i = 0; i < 10; i = i + 1 {
+//	        mem[i] = fib(i);
+//	        acc = acc ^ mem[i] * 31;
+//	    }
+//	    return acc;
+//	}
+//
+// Every value is an int64. Comparisons yield 0/1; && and || short-circuit.
+// The package provides the lexer, parser, AST, semantic checker, and a
+// reference tree-walking evaluator used as the first correctness oracle.
+package lang
+
+import "fmt"
+
+// TokKind classifies a lexical token.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+
+	// Keywords.
+	TokGlobal
+	TokFunc
+	TokVar
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokBang
+	TokShl
+	TokShr
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "integer",
+	TokGlobal: "'global'", TokFunc: "'func'", TokVar: "'var'", TokIf: "'if'",
+	TokElse: "'else'", TokWhile: "'while'", TokFor: "'for'", TokReturn: "'return'",
+	TokBreak: "'break'", TokContinue: "'continue'",
+	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'", TokRBrace: "'}'",
+	TokLBracket: "'['", TokRBracket: "']'", TokComma: "','", TokSemi: "';'",
+	TokAssign: "'='", TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'",
+	TokSlash: "'/'", TokPercent: "'%'", TokAmp: "'&'", TokPipe: "'|'",
+	TokCaret: "'^'", TokTilde: "'~'", TokBang: "'!'", TokShl: "'<<'",
+	TokShr: "'>>'", TokEq: "'=='", TokNe: "'!='", TokLt: "'<'", TokLe: "'<='",
+	TokGt: "'>'", TokGe: "'>='", TokAndAnd: "'&&'", TokOrOr: "'||'",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"global": TokGlobal, "func": TokFunc, "var": TokVar, "if": TokIf,
+	"else": TokElse, "while": TokWhile, "for": TokFor, "return": TokReturn,
+	"break": TokBreak, "continue": TokContinue,
+}
+
+// Pos locates a token in the source text.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64
+	Pos  Pos
+}
+
+// Lexer converts source text into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	err  error
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Err returns the first lexical error encountered.
+func (l *Lexer) Err() error { return l.err }
+
+func (l *Lexer) errorf(p Pos, format string, args ...any) {
+	if l.err == nil {
+		l.err = fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...))
+	}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) nextByte() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool  { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case isSpace(c):
+			l.nextByte()
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.nextByte()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. After an error or at end of input it returns
+// TokEOF forever.
+func (l *Lexer) Next() Token {
+	l.skipSpaceAndComments()
+	pos := Pos{Line: l.line, Col: l.col}
+	if l.off >= len(l.src) || l.err != nil {
+		return Token{Kind: TokEOF, Pos: pos}
+	}
+	c := l.nextByte()
+	switch {
+	case isLetter(c):
+		start := l.off - 1
+		for l.off < len(l.src) && (isLetter(l.peekByte()) || isDigit(l.peekByte())) {
+			l.nextByte()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}
+	case isDigit(c):
+		start := l.off - 1
+		for l.off < len(l.src) && (isDigit(l.peekByte()) || isLetter(l.peekByte())) {
+			l.nextByte()
+		}
+		text := l.src[start:l.off]
+		var v int64
+		var ok bool
+		if len(text) > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X') {
+			v, ok = parseUint(text[2:], 16)
+		} else {
+			v, ok = parseUint(text, 10)
+		}
+		if !ok {
+			l.errorf(pos, "malformed integer literal %q", text)
+			return Token{Kind: TokEOF, Pos: pos}
+		}
+		return Token{Kind: TokInt, Text: text, Int: v, Pos: pos}
+	}
+
+	two := func(next byte, yes, no TokKind) TokKind {
+		if l.peekByte() == next {
+			l.nextByte()
+			return yes
+		}
+		return no
+	}
+	var k TokKind
+	switch c {
+	case '(':
+		k = TokLParen
+	case ')':
+		k = TokRParen
+	case '{':
+		k = TokLBrace
+	case '}':
+		k = TokRBrace
+	case '[':
+		k = TokLBracket
+	case ']':
+		k = TokRBracket
+	case ',':
+		k = TokComma
+	case ';':
+		k = TokSemi
+	case '+':
+		k = TokPlus
+	case '-':
+		k = TokMinus
+	case '*':
+		k = TokStar
+	case '/':
+		k = TokSlash
+	case '%':
+		k = TokPercent
+	case '^':
+		k = TokCaret
+	case '~':
+		k = TokTilde
+	case '=':
+		k = two('=', TokEq, TokAssign)
+	case '!':
+		k = two('=', TokNe, TokBang)
+	case '<':
+		if l.peekByte() == '<' {
+			l.nextByte()
+			k = TokShl
+		} else {
+			k = two('=', TokLe, TokLt)
+		}
+	case '>':
+		if l.peekByte() == '>' {
+			l.nextByte()
+			k = TokShr
+		} else {
+			k = two('=', TokGe, TokGt)
+		}
+	case '&':
+		k = two('&', TokAndAnd, TokAmp)
+	case '|':
+		k = two('|', TokOrOr, TokPipe)
+	default:
+		l.errorf(pos, "unexpected character %q", string(c))
+		return Token{Kind: TokEOF, Pos: pos}
+	}
+	return Token{Kind: k, Pos: pos}
+}
+
+func parseUint(s string, base int64) (int64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	var v int64
+	for i := 0; i < len(s); i++ {
+		var d int64
+		c := s[i]
+		switch {
+		case isDigit(c):
+			d = int64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		if d >= base {
+			return 0, false
+		}
+		v = v*base + d
+		if v < 0 {
+			return 0, false // overflow
+		}
+	}
+	return v, true
+}
+
+// LexAll tokenizes the whole input, returning the tokens (terminated by a
+// TokEOF entry) or the first lexical error.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			break
+		}
+	}
+	return toks, l.Err()
+}

@@ -1,0 +1,113 @@
+package lang
+
+import "testing"
+
+// unrollCases must produce identical results with and without unrolling.
+var unrollCases = []string{
+	`func main() { var s = 0; for var i = 0; i < 100; i = i + 1 { s = s + i; } return s; }`,
+	`func main() { var s = 0; for var i = 0; i < 99; i = i + 1 { s = s + i * i; } return s; }`, // non-multiple trip count
+	`func main() { var s = 0; for var i = 0; i < 3; i = i + 1 { s = s + i; } return s; }`,      // fewer than factor
+	`func main() { var s = 0; for var i = 0; i < 0; i = i + 1 { s = s + i; } return s; }`,      // zero trips
+	`func main() { var s = 0; for var i = 5; i < 50; i = i + 3 { s = s + i; } return s; }`,     // stride 3
+	"global a[64];\nfunc main() { for var i = 0; i < 64; i = i + 1 { a[i] = i * 7; } var s = 0; for var i = 0; i < 64; i = i + 1 { s = s + a[i]; } return s; }",
+	// Variable bound.
+	`func main() { var n = 37; var s = 0; for var i = 0; i < n; i = i + 1 { s = s + i; } return s; }`,
+	// Bound assigned inside: must NOT unroll but must stay correct.
+	`func main() { var n = 20; var s = 0; for var i = 0; i < n; i = i + 1 { s = s + i; if i == 5 { n = 10; } } return s; }`,
+	// Induction var assigned inside: ineligible.
+	`func main() { var s = 0; for var i = 0; i < 30; i = i + 1 { s = s + i; if i == 7 { i = 20; } } return s; }`,
+	// Shadowing of i inside.
+	`func main() { var s = 0; for var i = 0; i < 16; i = i + 1 { var i = 3; s = s + i; } return s; }`,
+	// Break/continue: ineligible.
+	`func main() { var s = 0; for var i = 0; i < 40; i = i + 1 { if i == 11 { break; } s = s + i; } return s; }`,
+	// Nested loops: only the innermost unrolls.
+	`func main() { var s = 0; for var i = 0; i < 9; i = i + 1 { for var j = 0; j < 9; j = j + 1 { s = s + i * j; } } return s; }`,
+	// Early return inside the loop.
+	`func main() { var s = 0; for var i = 0; i < 100; i = i + 1 { s = s + i; if s > 50 { return s; } } return s; }`,
+	// Calls with a literal bound are fine.
+	"global g;\nfunc bump(v) { g = g + v; return g; }\nfunc main() { for var i = 0; i < 12; i = i + 1 { bump(i); } return g; }",
+	// Calls with a variable bound: ineligible (call may write the bound).
+	"global n = 8;\nfunc f(i) { n = n - 1; return i; }\nfunc main() { var s = 0; for var i = 0; i < n; i = i + 1 { s = s + f(i); } return s; }",
+	// Assignment-style init.
+	`func main() { var i = 0; var s = 0; for i = 2; i < 22; i = i + 2 { s = s + i; } return s + i; }`,
+	// Locals declared in the body (per-copy scoping).
+	`func main() { var s = 0; for var i = 0; i < 24; i = i + 1 { var t = i * 2; s = s + t; } return s; }`,
+}
+
+func TestUnrollPreservesSemantics(t *testing.T) {
+	for _, factor := range []int{2, 3, 4, 8} {
+		for _, src := range unrollCases {
+			want, err := EvalProgram(src)
+			if err != nil {
+				t.Fatalf("baseline: %v for %q", err, src)
+			}
+			f, err := ParseAndCheck(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			Unroll(f, factor)
+			if err := Check(f); err != nil {
+				t.Fatalf("factor %d: unrolled program fails check: %v\n%q", factor, err, src)
+			}
+			got, err := NewEvaluator(f, 0).Run()
+			if err != nil {
+				t.Fatalf("factor %d: %v for %q", factor, err, src)
+			}
+			if got != want {
+				t.Errorf("factor %d: %q: got %d, want %d", factor, src, got, want)
+			}
+		}
+	}
+}
+
+func TestUnrollActuallyUnrolls(t *testing.T) {
+	src := `func main() { var s = 0; for var i = 0; i < 100; i = i + 1 { s = s + i; } return s; }`
+	f, err := ParseAndCheck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Unroll(f, 4)
+	// The for loop should be gone, replaced by a block with two whiles.
+	blk, ok := f.Funcs[0].Body.Stmts[1].(*Block)
+	if !ok {
+		t.Fatalf("statement 1 is %T, want *Block", f.Funcs[0].Body.Stmts[1])
+	}
+	if len(blk.Stmts) != 3 {
+		t.Fatalf("unrolled block has %d statements, want 3 (init, main, residual)", len(blk.Stmts))
+	}
+	main, ok := blk.Stmts[1].(*WhileStmt)
+	if !ok {
+		t.Fatalf("main loop is %T", blk.Stmts[1])
+	}
+	// 4 body copies + 1 increment.
+	if len(main.Body.Stmts) != 5 {
+		t.Fatalf("main loop body has %d statements, want 5", len(main.Body.Stmts))
+	}
+}
+
+func TestUnrollFactorOneIsNoop(t *testing.T) {
+	src := `func main() { var s = 0; for var i = 0; i < 10; i = i + 1 { s = s + i; } return s; }`
+	f, _ := ParseAndCheck(src)
+	Unroll(f, 1)
+	if _, ok := f.Funcs[0].Body.Stmts[1].(*ForStmt); !ok {
+		t.Error("factor 1 should not rewrite")
+	}
+}
+
+func TestUnrollIneligibleStaysForLoop(t *testing.T) {
+	srcs := []string{
+		`func main() { var s = 0; for var i = 0; i < 40; i = i + 1 { if i == 11 { break; } s = s + i; } return s; }`,
+		`func main() { var s = 0; for var i = 10; i > 0; i = i - 1 { s = s + i; } return s; }`, // not i < b
+		`func main() { var s = 0; for var i = 0; i < 30; i = i + 1 { s = s + i; i = i; } return s; }`,
+	}
+	for _, src := range srcs {
+		f, err := ParseAndCheck(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Unroll(f, 4)
+		if _, ok := f.Funcs[0].Body.Stmts[1].(*ForStmt); !ok {
+			t.Errorf("ineligible loop was rewritten: %q", src)
+		}
+	}
+}

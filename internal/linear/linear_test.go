@@ -1,0 +1,151 @@
+package linear
+
+import (
+	"testing"
+
+	"wavescalar/internal/cfgir"
+	"wavescalar/internal/lang"
+	"wavescalar/internal/testprogs"
+)
+
+// CompileSource is shared test plumbing: frontend -> IR -> optimize ->
+// linear.
+func compileSource(t testing.TB, src string) *Program {
+	t.Helper()
+	f, err := lang.ParseAndCheck(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	p, err := cfgir.Build(f)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	for _, fn := range p.Funcs {
+		fn.Compact()
+	}
+	p.Optimize()
+	lp, err := Compile(p)
+	if err != nil {
+		t.Fatalf("linear: %v", err)
+	}
+	return lp
+}
+
+// TestEmulatorMatchesEvaluator runs the whole corpus through the linear
+// backend and emulator, checking the result and memory image against the
+// AST evaluator.
+func TestEmulatorMatchesEvaluator(t *testing.T) {
+	for _, c := range testprogs.Corpus {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			f, err := lang.ParseAndCheck(c.Src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev := lang.NewEvaluator(f, 0)
+			want, err := ev.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp := compileSource(t, c.Src)
+			em := NewEmulator(lp, 0)
+			got, err := em.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("emulator = %d, want %d", got, want)
+			}
+			wantMem, gotMem := ev.Memory(), em.Memory()
+			for i := range wantMem {
+				if gotMem[i] != wantMem[i] {
+					t.Fatalf("memory[%d] = %d, want %d", i, gotMem[i], wantMem[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTraceCoversAllInstructions(t *testing.T) {
+	lp := compileSource(t, `func f(x) { return x * 2; } func main() { var s = 0; for var i = 0; i < 5; i = i + 1 { s = s + f(i); } return s; }`)
+	em := NewEmulator(lp, 0)
+	var events int64
+	var calls, rets, branches int
+	em.Trace = func(ev TraceEvent) {
+		events++
+		switch ev.Instr.Op {
+		case LCall:
+			calls++
+			if ev.CalleeFrame == ev.Frame {
+				t.Error("callee frame equals caller frame")
+			}
+		case LRet:
+			rets++
+		case LBranch:
+			branches++
+		}
+	}
+	if _, err := em.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if events != em.Instrs {
+		t.Errorf("trace saw %d events, emulator counted %d", events, em.Instrs)
+	}
+	if calls != 5 || rets != 6 { // 5 calls to f + return from main
+		t.Errorf("calls=%d rets=%d", calls, rets)
+	}
+	if branches == 0 {
+		t.Error("no branch events in a loop")
+	}
+}
+
+func TestFallthroughLayout(t *testing.T) {
+	// A simple if/else should compile without a jump for the fallthrough
+	// arm; count control instructions as a sanity check on layout quality.
+	lp := compileSource(t, `func main() { var x = 1; if x { x = 2; } else { x = 3; } return x; }`)
+	f := lp.Funcs[lp.Entry]
+	jumps := 0
+	for i := range f.Code {
+		if f.Code[i].Op == LJump {
+			jumps++
+		}
+	}
+	if jumps > 2 {
+		t.Errorf("layout emitted %d jumps for a diamond; expected <= 2\n%v", jumps, f.Code)
+	}
+}
+
+func TestEmulatorFuel(t *testing.T) {
+	lp := compileSource(t, `func main() { while 1 { } return 0; }`)
+	if _, err := NewEmulator(lp, 100).Run(); err != ErrFuel {
+		t.Fatalf("got %v, want ErrFuel", err)
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	lp := compileSource(t, "global a[4];\nfunc main() { a[1] = 2; return a[1]; }")
+	for _, f := range lp.Funcs {
+		for i := range f.Code {
+			if s := f.Code[i].String(); s == "?" || s == "" {
+				t.Errorf("instruction %d renders %q", i, s)
+			}
+		}
+	}
+}
+
+func TestHeavyCorpus(t *testing.T) {
+	for _, c := range testprogs.Heavy {
+		want, err := lang.EvalProgram(c.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp := compileSource(t, c.Src)
+		got, err := NewEmulator(lp, 0).Run()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: got %d, want %d", c.Name, got, want)
+		}
+	}
+}

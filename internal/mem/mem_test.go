@@ -1,0 +1,210 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallConfig(n int) SystemConfig {
+	return SystemConfig{
+		NumL1s:           n,
+		L1:               CacheConfig{SizeWords: 64, LineWords: 4, Ways: 2},
+		L2:               CacheConfig{SizeWords: 1024, LineWords: 16, Ways: 4},
+		L1Latency:        1,
+		L2Latency:        20,
+		MemLatency:       1000,
+		CoherencePenalty: 8,
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := CacheConfig{SizeWords: 64, LineWords: 4, Ways: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Lines() != 16 || good.Sets() != 8 {
+		t.Errorf("lines=%d sets=%d", good.Lines(), good.Sets())
+	}
+	bad := []CacheConfig{
+		{SizeWords: 0, LineWords: 4, Ways: 1},
+		{SizeWords: 63, LineWords: 4, Ways: 1},
+		{SizeWords: 64, LineWords: 4, Ways: 3},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	s, err := NewSystem(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := s.Access(0, 100, false)
+	if r1.L1Hit {
+		t.Error("cold access hit")
+	}
+	if r1.Latency <= 20 {
+		t.Errorf("cold miss latency %d should include DRAM", r1.Latency)
+	}
+	r2 := s.Access(0, 101, false) // same line
+	if !r2.L1Hit || r2.Latency != 1 {
+		t.Errorf("same-line access: hit=%v latency=%d", r2.L1Hit, r2.Latency)
+	}
+	st := s.Stats()
+	if st.L1Hits != 1 || st.L1Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestL2CatchesL1Evictions(t *testing.T) {
+	s, _ := NewSystem(smallConfig(1))
+	// Touch enough distinct lines to overflow L1 (16 lines) but not L2.
+	for a := int64(0); a < 64*4; a += 4 {
+		s.Access(0, a, false)
+	}
+	// Re-touch the first line: should be an L1 miss but L2 hit.
+	r := s.Access(0, 0, false)
+	if r.L1Hit {
+		t.Error("line survived certain eviction")
+	}
+	if !r.L2Hit {
+		t.Error("L2 did not retain evicted line")
+	}
+	if r.Latency != 1+20 {
+		t.Errorf("L2 hit latency = %d, want 21", r.Latency)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	s, _ := NewSystem(smallConfig(1))
+	// The L1 has 8 sets, 2 ways, lines of 4 words: lines mapping to set 0
+	// are line numbers 0, 8, 16, ... i.e. addresses 0, 32, 64.
+	s.Access(0, 0, false)  // line 0 -> set 0
+	s.Access(0, 32, false) // line 8 -> set 0
+	s.Access(0, 0, false)  // touch line 0 (now MRU)
+	s.Access(0, 64, false) // line 16 -> evicts line 8 (LRU)
+	if r := s.Access(0, 0, false); !r.L1Hit {
+		t.Error("MRU line was evicted")
+	}
+	if r := s.Access(0, 32, false); r.L1Hit {
+		t.Error("LRU line was not evicted")
+	}
+}
+
+func TestCoherenceInvalidation(t *testing.T) {
+	s, _ := NewSystem(smallConfig(4))
+	// Both L1s read the same line.
+	s.Access(0, 10, false)
+	r := s.Access(1, 10, false)
+	if !r.Coherence {
+		t.Error("peer fetch not flagged as coherence traffic")
+	}
+	// L1 0 writes: L1 1's copy must be invalidated.
+	w := s.Access(0, 10, true)
+	if !w.Coherence {
+		t.Error("upgrade write not flagged")
+	}
+	// L1 1 reads again: must be a miss serviced by a transfer.
+	r2 := s.Access(1, 10, false)
+	if r2.L1Hit {
+		t.Error("stale copy read after invalidation")
+	}
+	st := s.Stats()
+	if st.Invals == 0 || st.Transfers == 0 {
+		t.Errorf("stats %+v: expected invalidations and transfers", st)
+	}
+}
+
+func TestMigratorySharing(t *testing.T) {
+	// The SPAA'06 model assumes migratory sharing: a line written by
+	// cluster after cluster transfers ownership once per cluster. Verify
+	// each handoff costs exactly one transfer + invalidation.
+	s, _ := NewSystem(smallConfig(4))
+	s.Access(0, 20, true)
+	before := s.Stats()
+	s.Access(1, 20, true)
+	after := s.Stats()
+	if after.Transfers != before.Transfers+1 {
+		t.Errorf("transfers %d -> %d, want +1", before.Transfers, after.Transfers)
+	}
+	if after.Invals != before.Invals+1 {
+		t.Errorf("invals %d -> %d, want +1", before.Invals, after.Invals)
+	}
+}
+
+func TestPerL1Stats(t *testing.T) {
+	s, _ := NewSystem(smallConfig(2))
+	s.Access(0, 0, false)
+	s.Access(0, 1, false)
+	s.Access(1, 100, false)
+	if s.L1Stats(0).Accesses != 2 || s.L1Stats(1).Accesses != 1 {
+		t.Errorf("per-L1 accesses: %d, %d", s.L1Stats(0).Accesses, s.L1Stats(1).Accesses)
+	}
+}
+
+func TestStatsConservation(t *testing.T) {
+	// Property: hits + misses == accesses, regardless of access pattern.
+	prop := func(seed int64) bool {
+		s, _ := NewSystem(smallConfig(4))
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			s.Access(rng.Intn(4), int64(rng.Intn(2000)), rng.Intn(2) == 0)
+		}
+		st := s.Stats()
+		return st.L1Hits+st.L1Misses == st.Accesses &&
+			st.L2Hits+st.L2Misses+st.Transfers >= st.L1Misses-st.Transfers
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleL1NeverCoheres(t *testing.T) {
+	prop := func(seed int64) bool {
+		s, _ := NewSystem(smallConfig(1))
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			r := s.Access(0, int64(rng.Intn(500)), rng.Intn(2) == 0)
+			if r.Coherence {
+				return false
+			}
+		}
+		return s.Stats().Invals == 0 && s.Stats().Transfers == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSystemRejectsBadConfig(t *testing.T) {
+	cfg := smallConfig(0)
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("accepted 0 L1s")
+	}
+	cfg = smallConfig(1)
+	cfg.L1.Ways = 3
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("accepted bad L1 geometry")
+	}
+}
+
+func TestDefaultSystemConfig(t *testing.T) {
+	cfg := DefaultSystemConfig(4)
+	if err := cfg.L1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.L2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 32 KB of 8-byte words = 4096 words; 128 B lines = 16 words.
+	if cfg.L1.SizeWords != 4096 || cfg.L1.LineWords != 16 {
+		t.Errorf("L1 geometry %+v", cfg.L1)
+	}
+	if _, err := NewSystem(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

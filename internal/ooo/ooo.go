@@ -1,0 +1,478 @@
+// Package ooo models an aggressive out-of-order superscalar processor — the
+// baseline the MICRO 2003 WaveScalar evaluation compares the WaveCache
+// against. It is a trace-driven timing model: the linear emulator supplies
+// the dynamic instruction stream (so functional correctness is already
+// settled), and this package answers how many cycles that stream takes on a
+// machine with:
+//
+//   - a pipelined front end (fetch width, decode depth, fetch redirect on
+//     taken control flow),
+//   - gshare branch prediction with a fixed mispredict penalty,
+//   - register renaming (implicit: per-frame last-writer tracking),
+//   - a unified scheduling window / reorder buffer with issue and commit
+//     width limits,
+//   - a load/store queue with store-to-load forwarding and optional
+//     conservative disambiguation,
+//   - the same cache hierarchy model as the WaveCache simulator
+//     (single L1).
+package ooo
+
+import (
+	"fmt"
+
+	"wavescalar/internal/cfgir"
+	"wavescalar/internal/isa"
+	"wavescalar/internal/linear"
+	"wavescalar/internal/mem"
+)
+
+// Config parameterizes the core.
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	ROBSize     int
+	LSQSize     int
+
+	DecodeDepth       int64 // front-end stages between fetch and dispatch
+	MispredictPenalty int64
+
+	GShareBits uint // log2 of predictor table size
+
+	IntLatency int64
+	MulLatency int64
+	DivLatency int64
+
+	// Functional-unit ports per cycle.
+	ALUPorts    int
+	MulDivPorts int
+	LoadPorts   int
+	StorePorts  int
+
+	// ConservativeLSQ forces loads to wait for every older in-flight
+	// store's address computation (no speculative disambiguation).
+	ConservativeLSQ bool
+
+	Mem mem.SystemConfig
+
+	// Fuel bounds dynamic instructions (0 = 500M).
+	Fuel int64
+}
+
+// DefaultConfig is the aggressive superscalar of the evaluation: 8-wide,
+// 15-stage front end, 256-entry window, gshare prediction.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        8,
+		IssueWidth:        8,
+		CommitWidth:       8,
+		ROBSize:           256,
+		LSQSize:           64,
+		DecodeDepth:       15,
+		MispredictPenalty: 15,
+		GShareBits:        14,
+		IntLatency:        1,
+		MulLatency:        3,
+		DivLatency:        20,
+		ALUPorts:          4,
+		MulDivPorts:       1,
+		LoadPorts:         2,
+		StorePorts:        1,
+		Mem:               mem.DefaultSystemConfig(1),
+	}
+}
+
+// Result reports a run.
+type Result struct {
+	Value  int64 // program result
+	Instrs uint64
+	Cycles int64
+	IPC    float64
+
+	Branches    uint64
+	Mispredicts uint64
+	Loads       uint64
+	Stores      uint64
+	Forwards    uint64
+	Mem         mem.Stats
+}
+
+// capSchedule grants at most width events per cycle. Full cycles carry
+// path-compressed skip pointers to the next candidate cycle, so a reserve
+// behind an arbitrarily long full region costs amortized near-constant
+// time.
+type capSchedule struct {
+	width     int
+	counts    map[int64]int
+	skip      map[int64]int64
+	low       int64
+	nextPrune int
+}
+
+func newCapSchedule(width int) *capSchedule {
+	return &capSchedule{width: width, counts: make(map[int64]int), skip: make(map[int64]int64),
+		nextPrune: 1 << 18}
+}
+
+// firstFree returns the first cycle >= t with spare capacity, compressing
+// skip pointers along the way.
+func (c *capSchedule) firstFree(t int64) int64 {
+	var chain []int64
+	for c.counts[t] >= c.width {
+		chain = append(chain, t)
+		if next, ok := c.skip[t]; ok {
+			t = next
+		} else {
+			t++
+		}
+	}
+	for _, x := range chain {
+		c.skip[x] = t
+	}
+	return t
+}
+
+// reserve returns the first cycle >= t with a free slot and takes it.
+func (c *capSchedule) reserve(t int64) int64 {
+	if t < c.low {
+		t = c.low
+	}
+	t = c.firstFree(t)
+	c.counts[t]++
+	if len(c.counts) > c.nextPrune {
+		for k := range c.counts {
+			if k < c.low {
+				delete(c.counts, k)
+				delete(c.skip, k)
+			}
+		}
+		// If low never advances (issue/commit schedules), pruning frees
+		// nothing; back off so the scan stays amortized.
+		c.nextPrune = len(c.counts)*2 + 1<<18
+	}
+	return t
+}
+
+// advanceLow promises nothing earlier than t will be requested again.
+func (c *capSchedule) advanceLow(t int64) {
+	if t > c.low {
+		c.low = t
+	}
+}
+
+// gshare is a global-history branch predictor with 2-bit counters.
+type gshare struct {
+	table []uint8
+	hist  uint64
+	mask  uint64
+}
+
+func newGshare(bits uint) *gshare {
+	return &gshare{table: make([]uint8, 1<<bits), mask: (1 << bits) - 1}
+}
+
+func (g *gshare) index(pc uint64) uint64 { return (pc ^ g.hist) & g.mask }
+
+func (g *gshare) predict(pc uint64) bool { return g.table[g.index(pc)] >= 2 }
+
+func (g *gshare) update(pc uint64, taken bool) {
+	i := g.index(pc)
+	if taken {
+		if g.table[i] < 3 {
+			g.table[i]++
+		}
+	} else if g.table[i] > 0 {
+		g.table[i]--
+	}
+	g.hist = g.hist<<1 | b2u(taken)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// regKey renames an architectural register within its activation frame.
+type regKey struct {
+	frame int64
+	reg   cfgir.Reg
+}
+
+// storeEntry is an in-flight store in the LSQ.
+type storeEntry struct {
+	addrReady int64
+	dataReady int64
+	addr      int64
+}
+
+// callFrame remembers where a call's return value must land.
+type callFrame struct {
+	frame int64
+	rd    cfgir.Reg
+}
+
+// core is the timing state threaded through the trace.
+type core struct {
+	cfg       Config
+	prog      *linear.Program
+	fetch     *capSchedule
+	issue     *capSchedule
+	commit    *capSchedule
+	aluPort   *capSchedule
+	mulPort   *capSchedule
+	loadPort  *capSchedule
+	storePort *capSchedule
+	memsys    *mem.System
+	bp        *gshare
+
+	fetchMin   int64
+	lastCommit int64
+	robCommits []int64
+	robHead    int
+
+	lastWrite map[regKey]int64
+	callStack []callFrame
+	stores    []storeEntry
+
+	res Result
+}
+
+// Run executes the program on the modeled core.
+func Run(p *linear.Program, cfg Config) (Result, error) {
+	if cfg.Fuel == 0 {
+		cfg.Fuel = 500_000_000
+	}
+	memsys, err := mem.NewSystem(cfg.Mem)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.ALUPorts == 0 {
+		cfg.ALUPorts = cfg.IssueWidth
+	}
+	if cfg.MulDivPorts == 0 {
+		cfg.MulDivPorts = 1
+	}
+	if cfg.LoadPorts == 0 {
+		cfg.LoadPorts = 2
+	}
+	if cfg.StorePorts == 0 {
+		cfg.StorePorts = 1
+	}
+	c := &core{
+		cfg:        cfg,
+		prog:       p,
+		fetch:      newCapSchedule(cfg.FetchWidth),
+		issue:      newCapSchedule(cfg.IssueWidth),
+		commit:     newCapSchedule(cfg.CommitWidth),
+		aluPort:    newCapSchedule(cfg.ALUPorts),
+		mulPort:    newCapSchedule(cfg.MulDivPorts),
+		loadPort:   newCapSchedule(cfg.LoadPorts),
+		storePort:  newCapSchedule(cfg.StorePorts),
+		memsys:     memsys,
+		bp:         newGshare(cfg.GShareBits),
+		robCommits: make([]int64, cfg.ROBSize),
+		lastWrite:  make(map[regKey]int64),
+	}
+
+	em := linear.NewEmulator(p, cfg.Fuel)
+	em.Trace = c.step
+	v, err := em.Run()
+	if err != nil {
+		return Result{}, fmt.Errorf("ooo: %w", err)
+	}
+	c.res.Value = v
+	c.res.Instrs = uint64(em.Instrs)
+	c.res.Cycles = c.lastCommit + 1
+	if c.res.Cycles > 0 {
+		c.res.IPC = float64(c.res.Instrs) / float64(c.res.Cycles)
+	}
+	c.res.Mem = memsys.Stats()
+	return c.res, nil
+}
+
+func (c *core) ready(frame int64, r cfgir.Reg) int64 {
+	return c.lastWrite[regKey{frame: frame, reg: r}]
+}
+
+func (c *core) write(frame int64, r cfgir.Reg, t int64) {
+	c.lastWrite[regKey{frame: frame, reg: r}] = t
+}
+
+// issueAt grants an issue slot and a functional-unit port at or after
+// ready.
+func (c *core) issueAt(ready int64, port *capSchedule) int64 {
+	t := c.issue.reserve(ready)
+	if port != nil {
+		t = port.reserve(t)
+	}
+	return t
+}
+
+// step models one dynamic instruction of the trace.
+func (c *core) step(ev linear.TraceEvent) {
+	in := ev.Instr
+	frame := ev.Frame
+
+	// Fetch: front-end bandwidth plus sequential ordering.
+	fetchT := c.fetch.reserve(c.fetchMin)
+
+	// Dispatch: decode pipeline plus a free reorder-buffer slot.
+	dispatch := fetchT + c.cfg.DecodeDepth
+	if robFree := c.robCommits[c.robHead] + 1; dispatch < robFree {
+		dispatch = robFree
+	}
+
+	ready := dispatch
+	up := func(t int64) {
+		if t > ready {
+			ready = t
+		}
+	}
+	pcKey := uint64(ev.Func)<<20 | uint64(ev.PC)
+	var execDone int64
+
+	switch in.Op {
+	case linear.LConst:
+		issueT := c.issueAt(ready, c.aluPort)
+		execDone = issueT + c.cfg.IntLatency
+		c.write(frame, in.Rd, execDone)
+	case linear.LAlu:
+		up(c.ready(frame, in.Ra))
+		if in.Alu.NumInputs() == 2 {
+			up(c.ready(frame, in.Rb))
+		}
+		issueT := c.issueAt(ready, c.fuPort(in))
+		execDone = issueT + c.aluLatency(in)
+		c.write(frame, in.Rd, execDone)
+	case linear.LSelect:
+		up(c.ready(frame, in.Ra))
+		up(c.ready(frame, in.Rb))
+		up(c.ready(frame, in.Rc))
+		issueT := c.issueAt(ready, c.aluPort)
+		execDone = issueT + c.cfg.IntLatency
+		c.write(frame, in.Rd, execDone)
+	case linear.LLoad:
+		c.res.Loads++
+		up(c.ready(frame, in.Ra))
+		adjusted, forwarded := c.loadConstraints(ready, ev.Addr)
+		issueT := c.issueAt(adjusted, c.loadPort)
+		if forwarded {
+			c.res.Forwards++
+			execDone = issueT + c.cfg.IntLatency
+		} else {
+			ar := c.memsys.Access(0, ev.Addr, false)
+			execDone = issueT + ar.Latency
+		}
+		c.write(frame, in.Rd, execDone)
+	case linear.LStore:
+		c.res.Stores++
+		addrReady := max64(dispatch, c.ready(frame, in.Ra))
+		dataReady := max64(dispatch, c.ready(frame, in.Rb))
+		issueT := c.issueAt(max64(addrReady, dataReady), c.storePort)
+		execDone = issueT
+		c.pushStore(storeEntry{addrReady: addrReady, dataReady: dataReady, addr: ev.Addr})
+		// Stats at retirement; the write buffer hides the latency.
+		c.memsys.Access(0, ev.Addr, true)
+	case linear.LJump:
+		issueT := c.issueAt(ready, nil)
+		execDone = issueT
+		c.fetchMin = max64(c.fetchMin, fetchT+1) // redirect after a taken jump
+	case linear.LBranch:
+		c.res.Branches++
+		up(c.ready(frame, in.Ra))
+		issueT := c.issueAt(ready, c.aluPort)
+		execDone = issueT + c.cfg.IntLatency
+		pred := c.bp.predict(pcKey)
+		c.bp.update(pcKey, ev.Taken)
+		if pred != ev.Taken {
+			c.res.Mispredicts++
+			c.fetchMin = max64(c.fetchMin, execDone+c.cfg.MispredictPenalty)
+		} else if ev.Taken {
+			c.fetchMin = max64(c.fetchMin, fetchT+1)
+		}
+	case linear.LCall:
+		issueT := c.issueAt(ready, nil)
+		execDone = issueT
+		// Arguments move into the callee's fresh frame through rename;
+		// register windows mean no memory traffic.
+		calleeParams := c.prog.Funcs[in.Callee].Params
+		for i, a := range in.Args {
+			t := max64(execDone, c.ready(frame, a))
+			c.write(ev.CalleeFrame, calleeParams[i], t)
+		}
+		c.callStack = append(c.callStack, callFrame{frame: frame, rd: in.Rd})
+		c.fetchMin = max64(c.fetchMin, fetchT+1)
+	case linear.LRet:
+		up(c.ready(frame, in.Ra))
+		issueT := c.issueAt(ready, nil)
+		execDone = issueT
+		if n := len(c.callStack); n > 0 {
+			cf := c.callStack[n-1]
+			c.callStack = c.callStack[:n-1]
+			c.write(cf.frame, cf.rd, execDone)
+		}
+		c.fetchMin = max64(c.fetchMin, fetchT+1)
+	}
+
+	// In-order retirement.
+	ct := c.commit.reserve(max64(execDone, c.lastCommit))
+	c.lastCommit = ct
+	c.robCommits[c.robHead] = ct
+	c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+	c.fetch.advanceLow(c.fetchMin)
+}
+
+// fuPort selects the functional-unit port pool for an ALU instruction.
+func (c *core) fuPort(in *linear.Instr) *capSchedule {
+	switch in.Alu {
+	case isa.OpMul, isa.OpDiv, isa.OpRem:
+		return c.mulPort
+	}
+	return c.aluPort
+}
+
+func (c *core) aluLatency(in *linear.Instr) int64 {
+	switch in.Alu {
+	case isa.OpMul:
+		return c.cfg.MulLatency
+	case isa.OpDiv, isa.OpRem:
+		return c.cfg.DivLatency
+	}
+	return c.cfg.IntLatency
+}
+
+// loadConstraints applies LSQ ordering to a load whose address is ready at
+// t, returning the adjusted ready time and whether an in-flight store
+// forwarded the value.
+func (c *core) loadConstraints(t int64, addr int64) (int64, bool) {
+	forwarded := false
+	for i := range c.stores {
+		s := &c.stores[i]
+		if c.cfg.ConservativeLSQ && s.addrReady > t {
+			t = s.addrReady
+		}
+		if s.addr == addr {
+			forwarded = true
+			if s.dataReady > t {
+				t = s.dataReady
+			}
+		}
+	}
+	return t, forwarded
+}
+
+func (c *core) pushStore(s storeEntry) {
+	c.stores = append(c.stores, s)
+	if len(c.stores) > c.cfg.LSQSize {
+		c.stores = c.stores[1:]
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

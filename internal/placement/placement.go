@@ -1,0 +1,349 @@
+// Package placement implements instruction placement for the WaveCache:
+// the policy that chooses which processing element becomes each static
+// instruction's home. The MICRO 2003 WaveCache binds instructions to PEs
+// dynamically, in the order execution first references them, filling PEs
+// along a "snake" path through the grid; the follow-on placement work
+// (SPAA 2006) names this dynamic-snake and compares it against static,
+// depth-first, random, and combined variants — all implemented here.
+package placement
+
+import (
+	"fmt"
+
+	"wavescalar/internal/isa"
+	"wavescalar/internal/noc"
+	"wavescalar/internal/profile"
+)
+
+// Machine describes the PE topology placement targets.
+type Machine struct {
+	GridW, GridH      int
+	DomainsPerCluster int
+	PodsPerDomain     int
+	PEsPerPod         int
+	// Capacity is the number of instruction homes a policy packs per PE
+	// before moving on (normally the PE instruction-store size).
+	Capacity int
+}
+
+// DefaultMachine returns the published topology: 4 domains of 4 pods of 2
+// PEs per cluster, 64-instruction PE stores, on a w x h cluster grid.
+func DefaultMachine(w, h int) Machine {
+	return Machine{
+		GridW: w, GridH: h,
+		DomainsPerCluster: 4,
+		PodsPerDomain:     4,
+		PEsPerPod:         2,
+		Capacity:          64,
+	}
+}
+
+// NumClusters returns the cluster count.
+func (m Machine) NumClusters() int { return m.GridW * m.GridH }
+
+// PEsPerCluster returns PEs in one cluster.
+func (m Machine) PEsPerCluster() int {
+	return m.DomainsPerCluster * m.PodsPerDomain * m.PEsPerPod
+}
+
+// NumPEs returns the total PE count.
+func (m Machine) NumPEs() int { return m.NumClusters() * m.PEsPerCluster() }
+
+// Loc maps a PE index to its place in the communication hierarchy.
+func (m Machine) Loc(pe int) noc.Loc {
+	perCluster := m.PEsPerCluster()
+	cluster := pe / perCluster
+	rem := pe % perCluster
+	domain := rem / (m.PodsPerDomain * m.PEsPerPod)
+	pod := (rem % (m.PodsPerDomain * m.PEsPerPod)) / m.PEsPerPod
+	return noc.Loc{Cluster: cluster, Domain: domain, Pod: pod}
+}
+
+// SnakePE returns the i-th PE along the snake path: PEs sequential within a
+// cluster, clusters visited in boustrophedon row order so consecutive
+// clusters are always mesh neighbours.
+func (m Machine) SnakePE(i int) int {
+	perCluster := m.PEsPerCluster()
+	ci := i / perCluster
+	within := i % perCluster
+	row := ci / m.GridW
+	col := ci % m.GridW
+	if row%2 == 1 {
+		col = m.GridW - 1 - col
+	}
+	return (row*m.GridW+col)*perCluster + within
+}
+
+// Policy assigns a home PE to each static instruction. Assign is called
+// once per instruction, the first time the simulator needs its home; the
+// call order is the dynamic first-reference order, which dynamic policies
+// exploit.
+type Policy interface {
+	Name() string
+	Assign(ref profile.InstrRef) int
+}
+
+// fill allocates PE slots along an arbitrary PE order, Capacity per PE,
+// wrapping when the machine is exhausted.
+type fill struct {
+	m     Machine
+	order func(i int) int
+	next  int
+}
+
+func (f *fill) take() int {
+	pe := f.order((f.next / f.m.Capacity) % f.m.NumPEs())
+	f.next++
+	return pe
+}
+
+// --- dynamic-snake -----------------------------------------------------
+
+// dynamicSnake fills PEs along the snake in dynamic first-reference order:
+// the MICRO 2003 WaveCache's own policy. PEs hold only instructions that
+// actually execute, which the SPAA 2006 study found best for PE contention.
+type dynamicSnake struct {
+	fill
+	homes map[profile.InstrRef]int
+}
+
+// NewDynamicSnake builds the policy.
+func NewDynamicSnake(m Machine) Policy {
+	ds := &dynamicSnake{homes: make(map[profile.InstrRef]int)}
+	ds.m = m
+	ds.order = m.SnakePE
+	return ds
+}
+
+func (d *dynamicSnake) Name() string { return "dynamic-snake" }
+
+func (d *dynamicSnake) Assign(ref profile.InstrRef) int {
+	if pe, ok := d.homes[ref]; ok {
+		return pe
+	}
+	pe := d.take()
+	d.homes[ref] = pe
+	return pe
+}
+
+// --- static-snake ------------------------------------------------------
+
+// staticSnake packs instructions along the snake in static program order,
+// whether or not they ever execute.
+type staticSnake struct {
+	homes map[profile.InstrRef]int
+}
+
+// NewStaticSnake precomputes the placement for a program.
+func NewStaticSnake(m Machine, p *isa.Program) Policy {
+	s := &staticSnake{homes: make(map[profile.InstrRef]int)}
+	f := fill{m: m, order: m.SnakePE}
+	for fi := range p.Funcs {
+		for ii := range p.Funcs[fi].Instrs {
+			s.homes[profile.InstrRef{Func: isa.FuncID(fi), Instr: isa.InstrID(ii)}] = f.take()
+		}
+	}
+	return s
+}
+
+func (s *staticSnake) Name() string { return "static-snake" }
+
+func (s *staticSnake) Assign(ref profile.InstrRef) int { return s.homes[ref] }
+
+// --- depth-first chains ------------------------------------------------
+
+// dfsChains decomposes each function's dataflow graph into producer/
+// consumer chains by depth-first search: each chain is a path of dependent
+// instructions that should share a PE so their operands ride the free
+// intra-pod bypass.
+func dfsChains(f *isa.Function) [][]isa.InstrID {
+	visited := make([]bool, len(f.Instrs))
+	var chains [][]isa.InstrID
+	var descend func(id isa.InstrID, chain []isa.InstrID) []isa.InstrID
+	descend = func(id isa.InstrID, chain []isa.InstrID) []isa.InstrID {
+		visited[id] = true
+		chain = append(chain, id)
+		in := &f.Instrs[id]
+		for _, lst := range [][]isa.Dest{in.Dests, in.DestsFalse} {
+			for _, d := range lst {
+				if !visited[d.Instr] {
+					return descend(d.Instr, chain)
+				}
+			}
+		}
+		return chain
+	}
+	for ii := range f.Instrs {
+		if !visited[ii] {
+			chains = append(chains, descend(isa.InstrID(ii), nil))
+		}
+	}
+	return chains
+}
+
+// depthFirstSnake places DFS chains contiguously along the snake in static
+// chain order: the best policy for operand latency in the SPAA 2006 study.
+type depthFirstSnake struct {
+	homes map[profile.InstrRef]int
+}
+
+// NewDepthFirstSnake precomputes the placement.
+func NewDepthFirstSnake(m Machine, p *isa.Program) Policy {
+	s := &depthFirstSnake{homes: make(map[profile.InstrRef]int)}
+	f := fill{m: m, order: m.SnakePE}
+	for fi := range p.Funcs {
+		for _, chain := range dfsChains(&p.Funcs[fi]) {
+			for _, id := range chain {
+				s.homes[profile.InstrRef{Func: isa.FuncID(fi), Instr: id}] = f.take()
+			}
+		}
+	}
+	return s
+}
+
+func (s *depthFirstSnake) Name() string { return "depth-first-snake" }
+
+func (s *depthFirstSnake) Assign(ref profile.InstrRef) int { return s.homes[ref] }
+
+// --- dynamic-depth-first-snake ------------------------------------------
+
+// dynamicDFS is the improved algorithm of the placement study: instructions
+// are grouped into DFS chains (like depth-first-snake) but chains are
+// packed into PEs in dynamic first-reference order (like dynamic-snake), so
+// PEs hold only chains that execute and dependent instructions still share
+// the bypass network.
+type dynamicDFS struct {
+	fill
+	homes   map[profile.InstrRef]int
+	chainOf map[profile.InstrRef][]isa.InstrID
+}
+
+// NewDynamicDFS builds the policy for a program.
+func NewDynamicDFS(m Machine, p *isa.Program) Policy {
+	d := &dynamicDFS{
+		homes:   make(map[profile.InstrRef]int),
+		chainOf: make(map[profile.InstrRef][]isa.InstrID),
+	}
+	d.m = m
+	d.order = m.SnakePE
+	for fi := range p.Funcs {
+		for _, chain := range dfsChains(&p.Funcs[fi]) {
+			for _, id := range chain {
+				d.chainOf[profile.InstrRef{Func: isa.FuncID(fi), Instr: id}] = chain
+			}
+		}
+	}
+	return d
+}
+
+func (d *dynamicDFS) Name() string { return "dynamic-depth-first-snake" }
+
+func (d *dynamicDFS) Assign(ref profile.InstrRef) int {
+	if pe, ok := d.homes[ref]; ok {
+		return pe
+	}
+	// First reference to any member of the chain places the whole chain.
+	chain := d.chainOf[ref]
+	for _, id := range chain {
+		r := profile.InstrRef{Func: ref.Func, Instr: id}
+		if _, ok := d.homes[r]; !ok {
+			d.homes[r] = d.take()
+		}
+	}
+	return d.homes[ref]
+}
+
+// --- random ------------------------------------------------------------
+
+// randomPolicy scatters instructions uniformly over all PEs.
+type randomPolicy struct {
+	m     Machine
+	state uint64
+	homes map[profile.InstrRef]int
+}
+
+// NewRandom builds a seeded random placement.
+func NewRandom(m Machine, seed uint64) Policy {
+	return &randomPolicy{m: m, state: seed | 1, homes: make(map[profile.InstrRef]int)}
+}
+
+func (r *randomPolicy) Name() string { return "random" }
+
+func (r *randomPolicy) Assign(ref profile.InstrRef) int {
+	if pe, ok := r.homes[ref]; ok {
+		return pe
+	}
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	pe := int((r.state >> 33) % uint64(r.m.NumPEs()))
+	r.homes[ref] = pe
+	return pe
+}
+
+// packedRandom fills PEs densely (capacity-aware like dynamic-snake) but
+// visits PEs in a seeded random permutation, destroying locality while
+// keeping packing.
+type packedRandom struct {
+	fill
+	homes map[profile.InstrRef]int
+}
+
+// NewPackedRandom builds the policy.
+func NewPackedRandom(m Machine, seed uint64) Policy {
+	perm := make([]int, m.NumPEs())
+	for i := range perm {
+		perm[i] = i
+	}
+	state := seed | 1
+	for i := len(perm) - 1; i > 0; i-- {
+		state = state*6364136223846793005 + 1442695040888963407
+		j := int((state >> 33) % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	pr := &packedRandom{homes: make(map[profile.InstrRef]int)}
+	pr.m = m
+	pr.order = func(i int) int { return perm[i] }
+	return pr
+}
+
+func (p *packedRandom) Name() string { return "packed-random" }
+
+func (p *packedRandom) Assign(ref profile.InstrRef) int {
+	if pe, ok := p.homes[ref]; ok {
+		return pe
+	}
+	pe := p.take()
+	p.homes[ref] = pe
+	return pe
+}
+
+// New constructs a policy by name; prog may be nil for policies that do not
+// inspect the program.
+func New(name string, m Machine, prog *isa.Program, seed uint64) (Policy, error) {
+	switch name {
+	case "dynamic-snake":
+		return NewDynamicSnake(m), nil
+	case "static-snake":
+		return NewStaticSnake(m, prog), nil
+	case "depth-first-snake":
+		return NewDepthFirstSnake(m, prog), nil
+	case "dynamic-depth-first-snake":
+		return NewDynamicDFS(m, prog), nil
+	case "random":
+		return NewRandom(m, seed), nil
+	case "packed-random":
+		return NewPackedRandom(m, seed), nil
+	}
+	return nil, fmt.Errorf("placement: unknown policy %q", name)
+}
+
+// Names lists the available policies.
+func Names() []string {
+	return []string{
+		"dynamic-snake",
+		"static-snake",
+		"depth-first-snake",
+		"dynamic-depth-first-snake",
+		"random",
+		"packed-random",
+	}
+}

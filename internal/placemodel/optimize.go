@@ -1,0 +1,133 @@
+package placemodel
+
+import (
+	"math/rand"
+
+	"wavescalar/internal/placement"
+	"wavescalar/internal/profile"
+)
+
+// Optimize is the placement model's raison d'être (the paper: "the model
+// provides a quickly calculable objective function that an optimizer could
+// minimize"): starting from a seed layout, it hill-climbs with occasional
+// uphill escapes, moving one instruction at a time to the PE that most
+// reduces the weighted combination of the three component costs. No
+// simulation runs during the search — only the analytic model — which is
+// the entire point.
+//
+// The returned layout never scores worse than the seed under the model.
+func Optimize(cfg Config, prof *profile.Profile, seed Layout, iters int, rngSeed int64) Layout {
+	rng := rand.New(rand.NewSource(rngSeed))
+	cur := make(Layout, len(seed))
+	for k, v := range seed {
+		cur[k] = v
+	}
+
+	// The three components have incomparable units; weight them by the
+	// paper's contributions over scale estimates from the seed layout so a
+	// unit move trades off sensibly.
+	base := Evaluate(cfg, prof, cur)
+	latScale := base.Latency
+	if latScale <= 0 {
+		latScale = 1
+	}
+	conScale := base.Contention
+	if conScale <= 0 {
+		conScale = 1
+	}
+	dataScale := base.Data
+	if dataScale <= 0 {
+		dataScale = 1
+	}
+	w := PaperWeights()
+	score := func(c Components) float64 {
+		return w.Latency*c.Latency/latScale + w.Data*c.Data/dataScale + w.Contention*c.Contention/conScale
+	}
+
+	refs := make([]profile.InstrRef, 0, len(cur))
+	for r := range cur {
+		refs = append(refs, r)
+	}
+	// Deterministic iteration order (maps are randomized).
+	sortRefs(refs)
+
+	bestLayout := cur
+	bestScore := score(base)
+	curScore := bestScore
+
+	npes := cfg.Machine.NumPEs()
+	for it := 0; it < iters; it++ {
+		r := refs[rng.Intn(len(refs))]
+		old := cur[r]
+		cand := rng.Intn(npes)
+		if cand == old {
+			continue
+		}
+		cur[r] = cand
+		s := score(Evaluate(cfg, prof, cur))
+		switch {
+		case s <= curScore:
+			curScore = s
+			if s < bestScore {
+				bestScore = s
+				bestLayout = cloneLayout(cur)
+			}
+		case rng.Float64() < 0.02:
+			// Occasional uphill move to escape local minima.
+			curScore = s
+		default:
+			cur[r] = old
+		}
+	}
+	return bestLayout
+}
+
+func cloneLayout(l Layout) Layout {
+	out := make(Layout, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+func sortRefs(refs []profile.InstrRef) {
+	// Insertion-free sort via the standard library would need a comparator
+	// import; a simple deterministic ordering suffices.
+	less := func(a, b profile.InstrRef) bool {
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Instr < b.Instr
+	}
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && less(refs[j], refs[j-1]); j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
+}
+
+// FixedPolicy adapts an optimized Layout to the placement.Policy interface
+// so the WaveCache simulator can run it. Instructions outside the layout
+// (never profiled, e.g. cold error paths) fall back to a snake fill.
+type FixedPolicy struct {
+	name     string
+	layout   Layout
+	fallback placement.Policy
+}
+
+// NewFixedPolicy wraps a layout.
+func NewFixedPolicy(name string, l Layout, m placement.Machine) *FixedPolicy {
+	return &FixedPolicy{name: name, layout: l, fallback: placement.NewDynamicSnake(m)}
+}
+
+// Name identifies the policy.
+func (f *FixedPolicy) Name() string { return f.name }
+
+// Assign returns the layout's home, or the fallback's for unprofiled
+// instructions.
+func (f *FixedPolicy) Assign(ref profile.InstrRef) int {
+	if pe, ok := f.layout[ref]; ok {
+		return pe
+	}
+	return f.fallback.Assign(ref)
+}

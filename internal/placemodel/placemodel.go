@@ -1,0 +1,233 @@
+// Package placemodel implements the instruction-placement performance
+// model of the follow-on paper "Modeling Instruction Placement on a Spatial
+// Architecture" (SPAA 2006), as an extension on top of this repository's
+// WaveScalar implementation. The model predicts the relative performance of
+// an instruction layout from three components:
+//
+//   - operand latency: profiled operand traffic between instruction pairs,
+//     weighted by the placement-induced communication latency (pod 0 /
+//     domain 4 / cluster 7 / mesh 7+hops, the paper's Equation 1–2);
+//   - data-cache coherence: a migratory-sharing estimate of the L1 miss
+//     ratio — each line accessed by C clusters migrates once per cluster
+//     (Equations 3–4);
+//   - PE contention: instructions placed at a PE beyond its storage
+//     capacity (Equation 5).
+//
+// The combined model (Equation 6) is a weighted sum of the three
+// components, each normalized across the candidate layouts; the paper's
+// derived weights are 0.35 / 0.14 / 0.51. Higher scores predict worse
+// performance, so a good model correlates *negatively* with simulated IPC
+// (the paper reports −0.90 on its training set).
+package placemodel
+
+import (
+	"wavescalar/internal/placement"
+	"wavescalar/internal/profile"
+	"wavescalar/internal/stats"
+)
+
+// Layout maps each (executed) static instruction to its home PE.
+type Layout map[profile.InstrRef]int
+
+// ExtractLayout materializes a policy's assignment for every instruction
+// the profile saw. Calling it after a simulation reads the recorded homes
+// (Assign is idempotent); calling it before a run drives dynamic policies
+// in profile iteration order, which is only appropriate for static
+// policies.
+func ExtractLayout(pol placement.Policy, prof *profile.Profile) Layout {
+	l := make(Layout, len(prof.Fires))
+	for ref := range prof.Fires {
+		l[ref] = pol.Assign(ref)
+	}
+	return l
+}
+
+// Config carries the machine parameters the component models need.
+type Config struct {
+	Machine placement.Machine
+	// PECapacity is the PE instruction-store size (Equation 5's limit).
+	PECapacity int
+
+	// Latencies of the four communication regimes (Equation 1). The
+	// defaults are the paper's: 0 / 4 / 7 / 7 + hops.
+	PodLatency     float64
+	DomainLatency  float64
+	ClusterLatency float64
+	MeshBase       float64
+	MeshPerHop     float64
+}
+
+// DefaultConfig returns the paper's parameters for the given machine.
+func DefaultConfig(m placement.Machine, peCapacity int) Config {
+	return Config{
+		Machine:        m,
+		PECapacity:     peCapacity,
+		PodLatency:     0,
+		DomainLatency:  4,
+		ClusterLatency: 7,
+		MeshBase:       7,
+		MeshPerHop:     1,
+	}
+}
+
+// pairLatency is Equation 1: the latency between two placed instructions.
+func (c Config) pairLatency(peA, peB int) float64 {
+	a, b := c.Machine.Loc(peA), c.Machine.Loc(peB)
+	switch {
+	case a.Cluster == b.Cluster && a.Domain == b.Domain && a.Pod == b.Pod:
+		return c.PodLatency
+	case a.Cluster == b.Cluster && a.Domain == b.Domain:
+		return c.DomainLatency
+	case a.Cluster == b.Cluster:
+		return c.ClusterLatency
+	default:
+		ax, ay := a.Cluster%c.Machine.GridW, a.Cluster/c.Machine.GridW
+		bx, by := b.Cluster%c.Machine.GridW, b.Cluster/c.Machine.GridW
+		hops := abs(ax-bx) + abs(ay-by)
+		return c.MeshBase + c.MeshPerHop*float64(hops)
+	}
+}
+
+// OperandLatency is Equation 2: total operand traffic weighted by pair
+// latency under the layout.
+func OperandLatency(cfg Config, prof *profile.Profile, l Layout) float64 {
+	total := 0.0
+	for e, n := range prof.Traffic {
+		pa, oka := l[e.From]
+		pb, okb := l[e.To]
+		if !oka || !okb {
+			continue
+		}
+		total += float64(n) * cfg.pairLatency(pa, pb)
+	}
+	return total
+}
+
+// CoherenceMissRatio is Equations 3–4 under the migratory-sharing
+// assumption: a line accessed from C > 1 clusters misses C times (one
+// migration per cluster); a private line misses once (cold). The result is
+// predicted misses / total accesses.
+func CoherenceMissRatio(cfg Config, prof *profile.Profile, l Layout) float64 {
+	clustersOf := make(map[int64]map[int]bool) // line -> clusters touching it
+	accesses := make(map[int64]uint64)
+	for ref, lines := range prof.MemBlocks {
+		pe, ok := l[ref]
+		if !ok {
+			continue
+		}
+		cluster := cfg.Machine.Loc(pe).Cluster
+		for line, n := range lines {
+			m := clustersOf[line]
+			if m == nil {
+				m = make(map[int]bool)
+				clustersOf[line] = m
+			}
+			m[cluster] = true
+			accesses[line] += n
+		}
+	}
+	var misses, total float64
+	for line, cs := range clustersOf {
+		c := float64(len(cs))
+		if c <= 1 {
+			misses++
+		} else {
+			misses += c
+		}
+		total += float64(accesses[line])
+	}
+	if total == 0 {
+		return 0
+	}
+	return misses / total
+}
+
+// PEContention is Equation 5: the number of instructions assigned to each
+// PE beyond its storage capacity, summed over PEs.
+func PEContention(cfg Config, l Layout) float64 {
+	perPE := make(map[int]int)
+	for _, pe := range l {
+		perPE[pe]++
+	}
+	total := 0.0
+	for _, n := range perPE {
+		if n > cfg.PECapacity {
+			total += float64(n - cfg.PECapacity)
+		}
+	}
+	return total
+}
+
+// Weights are the combined model's component weights (Equation 6).
+type Weights struct {
+	Latency    float64
+	Data       float64
+	Contention float64
+}
+
+// PaperWeights are the contributions the paper derives: 0.35 / 0.14 / 0.51.
+func PaperWeights() Weights { return Weights{Latency: 0.35, Data: 0.14, Contention: 0.51} }
+
+// Components bundles one layout's raw metrics.
+type Components struct {
+	Latency    float64
+	Data       float64
+	Contention float64
+}
+
+// Evaluate computes all three component metrics for one layout.
+func Evaluate(cfg Config, prof *profile.Profile, l Layout) Components {
+	return Components{
+		Latency:    OperandLatency(cfg, prof, l),
+		Data:       CoherenceMissRatio(cfg, prof, l),
+		Contention: PEContention(cfg, l),
+	}
+}
+
+// Combine normalizes each component across the candidate layouts to [0, 1]
+// and returns the weighted sums (Equation 6): one predicted-badness score
+// per layout.
+func Combine(comps []Components, w Weights) []float64 {
+	norm := func(get func(Components) float64) []float64 {
+		lo, hi := get(comps[0]), get(comps[0])
+		for _, c := range comps[1:] {
+			v := get(c)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		out := make([]float64, len(comps))
+		if hi == lo {
+			return out
+		}
+		for i, c := range comps {
+			out[i] = (get(c) - lo) / (hi - lo)
+		}
+		return out
+	}
+	ls := norm(func(c Components) float64 { return c.Latency })
+	ds := norm(func(c Components) float64 { return c.Data })
+	cs := norm(func(c Components) float64 { return c.Contention })
+	out := make([]float64, len(comps))
+	for i := range comps {
+		out[i] = w.Latency*ls[i] + w.Data*ds[i] + w.Contention*cs[i]
+	}
+	return out
+}
+
+// Correlation returns the Pearson coefficient between model scores and
+// measured performance. A useful model is strongly negative (the paper:
+// −0.90 in-sample, −0.82 held out).
+func Correlation(scores, perf []float64) float64 {
+	return stats.Pearson(scores, perf)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

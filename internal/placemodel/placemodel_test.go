@@ -1,0 +1,252 @@
+package placemodel
+
+import (
+	"testing"
+
+	"wavescalar/internal/cfgir"
+	"wavescalar/internal/interp"
+	"wavescalar/internal/isa"
+	"wavescalar/internal/lang"
+	"wavescalar/internal/placement"
+	"wavescalar/internal/profile"
+	"wavescalar/internal/wavec"
+	"wavescalar/internal/wavecache"
+)
+
+func compileAndProfile(t *testing.T, src string) (*isa.Program, *profile.Profile) {
+	t.Helper()
+	f, err := lang.ParseAndCheck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lang.Unroll(f, 4)
+	p, err := cfgir.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range p.Funcs {
+		fn.Compact()
+	}
+	p.Optimize()
+	wp, err := wavec.Compile(p, wavec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(wp, 0)
+	prof := m.CollectProfile(16)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return wp, prof
+}
+
+const modelSrc = `
+global a[256];
+global b[256];
+func main() {
+	var x = 7;
+	for var i = 0; i < 256; i = i + 1 {
+		x = (x * 75 + 74) % 65537;
+		a[i] = x % 1000;
+	}
+	var s = 0;
+	for var i = 0; i < 256; i = i + 1 {
+		b[i] = a[(i * 7) % 256] + a[i];
+		s = (s * 31 + b[i]) % 1000000007;
+	}
+	return s;
+}
+`
+
+func TestComponentBasics(t *testing.T) {
+	wp, prof := compileAndProfile(t, modelSrc)
+	m := placement.DefaultMachine(2, 2)
+	m.Capacity = 8
+	cfg := DefaultConfig(m, 8)
+
+	// A layout that packs everything on one PE: zero operand latency,
+	// maximal contention.
+	packed := make(Layout)
+	for ref := range prof.Fires {
+		packed[ref] = 0
+	}
+	if lat := OperandLatency(cfg, prof, packed); lat != 0 {
+		t.Errorf("single-PE layout has operand latency %v, want 0", lat)
+	}
+	if con := PEContention(cfg, packed); con != float64(len(packed)-8) {
+		t.Errorf("contention = %v, want %v", con, len(packed)-8)
+	}
+	if miss := CoherenceMissRatio(cfg, prof, packed); miss <= 0 || miss > 1 {
+		t.Errorf("single-cluster miss ratio = %v, want (0,1] (cold misses only)", miss)
+	}
+
+	// A maximally scattered layout: latency strictly positive, lower
+	// contention.
+	scattered := make(Layout)
+	i := 0
+	for ref := range prof.Fires {
+		scattered[ref] = i % m.NumPEs()
+		i++
+	}
+	if lat := OperandLatency(cfg, prof, scattered); lat <= 0 {
+		t.Errorf("scattered layout has operand latency %v, want > 0", lat)
+	}
+	if PEContention(cfg, scattered) >= PEContention(cfg, packed) {
+		t.Error("scattering did not reduce contention")
+	}
+	// Scattering across clusters must not reduce the migratory miss
+	// estimate.
+	if CoherenceMissRatio(cfg, prof, scattered) < CoherenceMissRatio(cfg, prof, packed) {
+		t.Error("scattering reduced the coherence estimate")
+	}
+	_ = wp
+}
+
+func TestPairLatencyRegimes(t *testing.T) {
+	m := placement.DefaultMachine(2, 2)
+	cfg := DefaultConfig(m, 64)
+	perCluster := m.PEsPerCluster()
+	cases := []struct {
+		a, b int
+		want float64
+	}{
+		{0, 0, 0},              // same PE (same pod)
+		{0, 1, 0},              // same pod (2 PEs per pod)
+		{0, 2, 4},              // same domain, different pod
+		{0, perCluster - 1, 7}, // same cluster, different domain
+		{0, perCluster, 8},     // adjacent cluster: 7 + 1 hop
+		{0, 3 * perCluster, 9}, // diagonal cluster: 7 + 2 hops
+	}
+	for _, c := range cases {
+		if got := cfg.pairLatency(c.a, c.b); got != c.want {
+			t.Errorf("pairLatency(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCombineNormalization(t *testing.T) {
+	comps := []Components{
+		{Latency: 0, Data: 0.5, Contention: 100},
+		{Latency: 1000, Data: 0.5, Contention: 0},
+	}
+	scores := Combine(comps, PaperWeights())
+	// Layout 0: latency 0 (norm 0), data tied (norm 0), contention max
+	// (norm 1) -> 0.51. Layout 1: latency max -> 0.35.
+	if scores[0] != 0.51 || scores[1] != 0.35 {
+		t.Errorf("scores = %v, want [0.51 0.35]", scores)
+	}
+}
+
+// TestModelCorrelation is the headline reproduction of the SPAA 2006
+// method: across the placement-policy family, the combined model's
+// predicted badness must correlate negatively with simulated IPC.
+func TestModelCorrelation(t *testing.T) {
+	wp, prof := compileAndProfile(t, modelSrc)
+	m := placement.DefaultMachine(2, 2)
+	m.Capacity = 8
+	cfg := DefaultConfig(m, 8)
+
+	simCfg := wavecache.DefaultConfig(2, 2)
+	simCfg.Machine = m
+	simCfg.PEStore = 8
+	// The model does not capture matching-table (input queue) contention;
+	// the paper makes the same observation ("contention that is not
+	// modeled for other PE resources, such as the operand input queue...
+	// produces variations"). Remove that unmodeled resource here, as the
+	// paper's component-isolating simulations do.
+	simCfg.InputQueue = 1 << 30
+
+	var comps []Components
+	var ipcs []float64
+	// The policy family plus extra random seeds gives 8 layouts, like the
+	// paper's eight.
+	type cand struct {
+		name string
+		seed uint64
+	}
+	cands := []cand{
+		{"dynamic-snake", 1}, {"static-snake", 1}, {"depth-first-snake", 1},
+		{"dynamic-depth-first-snake", 1},
+		{"random", 3}, {"random", 99}, {"packed-random", 3}, {"packed-random", 99},
+	}
+	for _, cd := range cands {
+		pol, err := placement.New(cd.name, m, wp, cd.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := wavecache.Run(wp, pol, simCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layout := ExtractLayout(pol, prof)
+		comps = append(comps, Evaluate(cfg, prof, layout))
+		ipcs = append(ipcs, res.IPC)
+	}
+	scores := Combine(comps, PaperWeights())
+	r := Correlation(scores, ipcs)
+	t.Logf("combined-model correlation with IPC: %.3f (paper: -0.90)", r)
+	if r > -0.5 {
+		t.Errorf("correlation %.3f too weak; model should predict layout performance (expect <= -0.5)", r)
+	}
+}
+
+// TestOptimizeImprovesRealPerformance is the model's payoff (the paper's
+// Section 6 builds a better placement algorithm from the model): starting
+// from a deliberately bad (random) layout, minimizing the analytic model —
+// with no simulation in the loop — must improve actual simulated
+// performance substantially.
+func TestOptimizeImprovesRealPerformance(t *testing.T) {
+	wp, prof := compileAndProfile(t, modelSrc)
+	m := placement.DefaultMachine(2, 2)
+	m.Capacity = 8
+	cfg := DefaultConfig(m, 8)
+
+	simCfg := wavecache.DefaultConfig(2, 2)
+	simCfg.Machine = m
+	simCfg.PEStore = 8
+	simCfg.InputQueue = 1 << 30
+
+	seedPol := placement.NewRandom(m, 7)
+	seedRes, err := wavecache.Run(wp, seedPol, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedLayout := ExtractLayout(seedPol, prof)
+
+	opt := Optimize(cfg, prof, seedLayout, 4000, 11)
+	seedScore := Evaluate(cfg, prof, seedLayout)
+	optScore := Evaluate(cfg, prof, opt)
+	if optScore.Latency > seedScore.Latency && optScore.Contention > seedScore.Contention {
+		t.Fatalf("optimizer worsened both dominant components: %+v -> %+v", seedScore, optScore)
+	}
+
+	optRes, err := wavecache.Run(wp, NewFixedPolicy("model-opt", opt, m), simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optRes.Value != seedRes.Value {
+		t.Fatalf("optimization changed the program result: %d vs %d", optRes.Value, seedRes.Value)
+	}
+	gain := float64(seedRes.Cycles) / float64(optRes.Cycles)
+	t.Logf("model-guided optimization: %d -> %d cycles (%.2fx) with zero simulations in the loop",
+		seedRes.Cycles, optRes.Cycles, gain)
+	if gain < 1.15 {
+		t.Errorf("model-guided optimization gained only %.2fx over a random seed; expected > 1.15x", gain)
+	}
+}
+
+func TestFixedPolicyFallback(t *testing.T) {
+	m := placement.DefaultMachine(1, 1)
+	pol := NewFixedPolicy("fixed", Layout{{Func: 0, Instr: 1}: 5}, m)
+	if pol.Name() != "fixed" {
+		t.Error("name wrong")
+	}
+	if pol.Assign(profile.InstrRef{Func: 0, Instr: 1}) != 5 {
+		t.Error("layout home ignored")
+	}
+	// Unknown instructions fall back deterministically and stably.
+	a := pol.Assign(profile.InstrRef{Func: 0, Instr: 99})
+	if b := pol.Assign(profile.InstrRef{Func: 0, Instr: 99}); a != b {
+		t.Error("fallback not stable")
+	}
+}

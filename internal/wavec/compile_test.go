@@ -1,0 +1,230 @@
+package wavec
+
+import (
+	"testing"
+
+	"wavescalar/internal/cfgir"
+	"wavescalar/internal/isa"
+	"wavescalar/internal/lang"
+	"wavescalar/internal/testprogs"
+)
+
+func compile(t *testing.T, src string, opts Options) *isa.Program {
+	t.Helper()
+	f, err := lang.ParseAndCheck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cfgir.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range p.Funcs {
+		fn.Compact()
+	}
+	p.Optimize()
+	wp, err := Compile(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wp
+}
+
+// TestEveryCorpusProgramValidates compiles the whole corpus in both control
+// modes; Compile validates internally, so success means structurally sound
+// binaries.
+func TestEveryCorpusProgramValidates(t *testing.T) {
+	for _, c := range testprogs.Corpus {
+		compile(t, c.Src, Options{})
+		compile(t, c.Src, Options{IfConvert: true})
+	}
+}
+
+func TestTouchesMemoryPropagation(t *testing.T) {
+	src := `
+global g;
+func leafPure(x) { return x + 1; }
+func leafMem(x) { g = x; return x; }
+func midPure(x) { return leafPure(x) * 2; }
+func midMem(x) { return leafMem(x) * 2; }
+func main() { return midPure(1) + midMem(2); }
+`
+	wp := compile(t, src, Options{})
+	want := map[string]bool{
+		"leafPure": false,
+		"leafMem":  true,
+		"midPure":  false,
+		"midMem":   true, // calls a memory-touching function
+		"main":     true,
+	}
+	for name, w := range want {
+		f := wp.FuncByName(name)
+		if f == nil {
+			t.Fatalf("function %s missing", name)
+		}
+		if f.TouchesMemory != w {
+			t.Errorf("%s: TouchesMemory = %v, want %v", name, f.TouchesMemory, w)
+		}
+	}
+	// Call slots must exist only for memory-touching callees.
+	main := wp.FuncByName("main")
+	for i := range main.Instrs {
+		in := &main.Instrs[i]
+		if in.Op != isa.OpNewCtx {
+			continue
+		}
+		callee := &wp.Funcs[in.Target]
+		if callee.TouchesMemory && in.Mem.Kind != isa.MemCall {
+			t.Errorf("call to %s missing MemCall slot", callee.Name)
+		}
+		if !callee.TouchesMemory && in.Mem.Kind != isa.MemNone {
+			t.Errorf("call to %s has spurious MemCall slot", callee.Name)
+		}
+	}
+}
+
+func TestWavePartitioning(t *testing.T) {
+	// Two sequential loops plus an if: at least 1 (entry) + 2 (headers)
+	// waves, and every wave-advance must sit on an edge out of its block's
+	// wave (structurally: there must be advances at all).
+	src := `func main() { var s = 0; for var i = 0; i < 4; i = i + 1 { s = s + i; } for var j = 0; j < 4; j = j + 1 { s = s * 2; } if s > 100 { s = 100; } return s; }`
+	wp := compile(t, src, Options{})
+	f := wp.FuncByName("main")
+	if f.NumWaves < 3 {
+		t.Errorf("NumWaves = %d, want >= 3", f.NumWaves)
+	}
+	advances := 0
+	for i := range f.Instrs {
+		if f.Instrs[i].Op == isa.OpWaveAdvance {
+			advances++
+		}
+	}
+	if advances == 0 {
+		t.Error("no wave advances in a two-loop function")
+	}
+}
+
+func TestSteersGateEveryBranch(t *testing.T) {
+	src := `func main() { var a = 1; var b = 2; if a < b { a = b; } return a + b; }`
+	wp := compile(t, src, Options{})
+	f := wp.FuncByName("main")
+	steers := 0
+	for i := range f.Instrs {
+		if f.Instrs[i].Op == isa.OpSteer {
+			steers++
+		}
+	}
+	// a, b, and the trigger are live across the branch: 3 steers minimum.
+	if steers < 3 {
+		t.Errorf("steers = %d, want >= 3", steers)
+	}
+}
+
+func TestIfConvertEmitsSelects(t *testing.T) {
+	src := `func main() { var s = 0; for var i = 0; i < 8; i = i + 1 { var x = 0; if i % 2 { x = i; } else { x = -i; } s = s + x; } return s; }`
+	plain := compile(t, src, Options{})
+	sel := compile(t, src, Options{IfConvert: true})
+	countOp := func(p *isa.Program, op isa.Opcode) int {
+		n := 0
+		for fi := range p.Funcs {
+			for ii := range p.Funcs[fi].Instrs {
+				if p.Funcs[fi].Instrs[ii].Op == op {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if countOp(sel, isa.OpSelect) == 0 {
+		t.Error("if-conversion emitted no selects")
+	}
+	if countOp(sel, isa.OpSteer) >= countOp(plain, isa.OpSteer) {
+		t.Errorf("if-conversion did not reduce steers: %d -> %d",
+			countOp(plain, isa.OpSteer), countOp(sel, isa.OpSteer))
+	}
+}
+
+func TestImmediateOperandsReplaceConsts(t *testing.T) {
+	src := `func main() { var s = 0; for var i = 0; i < 8; i = i + 1 { s = s + i * 3 + 7; } return s; }`
+	wp := compile(t, src, Options{})
+	f := wp.FuncByName("main")
+	consts, imms := 0, 0
+	for i := range f.Instrs {
+		if f.Instrs[i].Op == isa.OpConst {
+			consts++
+		}
+		if f.Instrs[i].ImmMask != 0 {
+			imms++
+		}
+	}
+	if imms == 0 {
+		t.Error("no immediate operands emitted")
+	}
+	// The 3 and 7 should be immediates, not CONST instructions firing per
+	// iteration; only structural constants (e.g. loop bounds feeding
+	// steers' non-immediate ports) may remain.
+	if consts > 3 {
+		t.Errorf("%d CONST instructions survive; expected most folded to immediates", consts)
+	}
+}
+
+func TestMemoryChainsCoverEveryBlock(t *testing.T) {
+	// In a memory-touching function, every static wave must contain at
+	// least one Start slot (Pred == SeqStart) and the function must carry
+	// chain-terminating annotations (Succ == SeqEnd or a MemEnd return).
+	src := "global a[8];\nfunc main() { for var i = 0; i < 8; i = i + 1 { if i % 2 { a[i] = i; } } return a[1]; }"
+	wp := compile(t, src, Options{})
+	f := wp.FuncByName("main")
+	starts := make(map[int32]bool)
+	ends := make(map[int32]bool)
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if in.Mem.Kind == isa.MemNone {
+			continue
+		}
+		if in.Mem.Pred == isa.SeqStart {
+			starts[in.Wave] = true
+		}
+		if in.Mem.Succ == isa.SeqEnd || in.Mem.Kind == isa.MemEnd {
+			ends[in.Wave] = true
+		}
+	}
+	for w := int32(0); w < f.NumWaves; w++ {
+		if !starts[w] {
+			t.Errorf("wave %d has no Start slot", w)
+		}
+		if !ends[w] {
+			t.Errorf("wave %d has no chain-terminating slot", w)
+		}
+	}
+}
+
+func TestCompileRequiresMain(t *testing.T) {
+	f, err := lang.Parse(`func helper() { return 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cfgir.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range p.Funcs {
+		fn.Compact()
+	}
+	if _, err := Compile(p, Options{}); err == nil {
+		t.Fatal("program without main compiled")
+	}
+}
+
+func TestParamPadsAreFirst(t *testing.T) {
+	wp := compile(t, `func f(a, b, c) { return a + b + c; } func main() { return f(1, 2, 3); }`, Options{})
+	f := wp.FuncByName("f")
+	if len(f.Params) != 4 { // trigger + 3
+		t.Fatalf("f has %d pads, want 4", len(f.Params))
+	}
+	for i, pad := range f.Params {
+		if f.Instrs[pad].Op != isa.OpNop {
+			t.Errorf("pad %d is %v", i, f.Instrs[pad].Op)
+		}
+	}
+}

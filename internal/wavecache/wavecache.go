@@ -1,0 +1,670 @@
+// Package wavecache is the cycle-level WaveCache simulator: the MICRO 2003
+// WaveScalar processor. It executes dataflow binaries on a grid of clusters
+// of processing elements with:
+//
+//   - tag-matching input queues and the dataflow firing rule, one firing
+//     per PE per cycle;
+//   - dynamic instruction placement (a pluggable policy) with per-PE
+//     instruction stores, LRU replacement, and a swap-in penalty when a
+//     referenced instruction is not resident;
+//   - the hierarchical operand network (pod bypass / domain / cluster /
+//     mesh) with per-link bandwidth, via internal/noc;
+//   - per-cluster store buffers implementing wave-ordered memory: requests
+//     travel to the buffer that owns their dynamic wave, issue in program
+//     order (internal/waveorder), and access that cluster's L1 in the
+//     directory-coherent hierarchy (internal/mem);
+//   - finite input queues modeled as an overflow penalty when a PE's
+//     waiting-token population exceeds its queue capacity.
+//
+// The simulator is discrete-event: tokens and memory messages carry
+// timestamps, PEs and store buffers serialize at one operation per cycle,
+// and the run's cycle count is the latest timestamp processed.
+package wavecache
+
+import (
+	"container/heap"
+	"fmt"
+
+	"wavescalar/internal/isa"
+	"wavescalar/internal/mem"
+	"wavescalar/internal/noc"
+	"wavescalar/internal/placement"
+	"wavescalar/internal/profile"
+	"wavescalar/internal/waveorder"
+)
+
+// MemoryMode selects the memory ordering strategy (experiment E4).
+type MemoryMode int
+
+const (
+	// MemOrdered is wave-ordered memory: requests issue in program order as
+	// the store buffers resolve their ordering chains, overlapping with
+	// execution (the paper's contribution).
+	MemOrdered MemoryMode = iota
+	// MemSerial allows one memory operation in flight at a time, each
+	// separated by the dependence-token round trip a dataflow machine
+	// without ordering hardware would need to chain memory operations: the
+	// conservative strawman wave-ordered memory replaces.
+	MemSerial
+	// MemIdeal is an oracle memory: values still obey program order, but
+	// loads are timed as if ordering were free.
+	MemIdeal
+)
+
+func (m MemoryMode) String() string {
+	switch m {
+	case MemOrdered:
+		return "wave-ordered"
+	case MemSerial:
+		return "serialized"
+	case MemIdeal:
+		return "ideal"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config parameterizes the machine.
+type Config struct {
+	Machine placement.Machine
+
+	// PEStore is the per-PE instruction store capacity.
+	PEStore int
+	// SwapPenalty is charged when a referenced instruction must be brought
+	// into its PE's store.
+	SwapPenalty int64
+	// InputQueue is the per-PE token queue capacity; tokens beyond it pay
+	// OverflowPenalty (matching-table spill to memory).
+	InputQueue      int
+	OverflowPenalty int64
+
+	// BufferWidth is how many memory operations a cluster's store buffer
+	// can issue per cycle (the published L1 sustains 4 accesses/cycle).
+	BufferWidth int64
+
+	// MemMsgLatency is the one-way latency of a memory message between a
+	// PE and its own cluster's store buffer (a dedicated path, cheaper
+	// than the general operand network). Waves bind to store buffers by
+	// first touch, so the common case is cluster-local.
+	MemMsgLatency int64
+
+	Net noc.Config
+	Mem mem.SystemConfig
+
+	MemMode MemoryMode
+
+	// Fuel bounds fired instructions (0 = 200M).
+	Fuel int64
+}
+
+// DefaultConfig returns the published WaveScalar processor parameters on a
+// w x h cluster grid.
+func DefaultConfig(w, h int) Config {
+	m := placement.DefaultMachine(w, h)
+	return Config{
+		Machine:         m,
+		PEStore:         64,
+		SwapPenalty:     32,
+		InputQueue:      16,
+		OverflowPenalty: 10,
+		BufferWidth:     4,
+		MemMsgLatency:   2,
+		Net:             noc.DefaultConfig(w, h),
+		Mem:             mem.DefaultSystemConfig(m.NumClusters()),
+	}
+}
+
+// Result reports a simulation.
+type Result struct {
+	Value  int64
+	Fired  uint64
+	Cycles int64
+	IPC    float64
+
+	Tokens    uint64
+	Swaps     uint64
+	Overflows uint64
+	PEsUsed   int
+
+	Net   noc.Stats
+	Mem   mem.Stats
+	Order waveorder.Stats
+}
+
+// event kinds.
+type evKind uint8
+
+const (
+	evToken evKind = iota
+	evFire
+	evMemArrive
+)
+
+type event struct {
+	time int64
+	seq  uint64
+	kind evKind
+
+	// evToken / evFire payload.
+	fn   isa.FuncID
+	dest isa.Dest
+	tag  isa.Tag
+	val  int64
+	vals [3]int64 // evFire operands
+
+	// evMemArrive payload.
+	req *waveorder.Request
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() *event  { return h[0] }
+
+// operands is a per-tag matching entry.
+type operands struct {
+	vals [3]int64
+	have uint8
+}
+
+// peState is one processing element.
+type peState struct {
+	free     int64 // next cycle the ALU can fire
+	resident map[profile.InstrRef]uint64
+	lruTick  uint64
+	waiting  int // tokens delivered but not yet consumed by a firing
+	used     bool
+}
+
+type ctxInfo struct {
+	callerFunc isa.FuncID
+	callerTag  isa.Tag
+	retPad     isa.InstrID
+}
+
+// memCookie carries reply routing and timing through the ordering engine.
+type memCookie struct {
+	fn     isa.FuncID
+	id     isa.InstrID
+	tag    isa.Tag
+	fireAt int64
+	pe     int
+	buf    int // store-buffer cluster bound at submit time
+}
+
+type sim struct {
+	prog *isa.Program
+	pol  placement.Policy
+	cfg  Config
+
+	net    *noc.Network
+	memsys *mem.System
+	engine *waveorder.Engine
+
+	events eventHeap
+	seq    uint64
+	now    int64
+	maxT   int64
+
+	opstore   []map[isa.Tag]*operands
+	instrBase []int
+	pes       []peState
+	bufBusy   []bufState // per-cluster store-buffer issue bandwidth
+	serialEnd int64      // MemSerial: completion of the in-flight operation
+
+	memImage []int64
+	ctxMeta  map[uint32]ctxInfo
+	nextCtx  uint32
+
+	// waveBuf records each dynamic wave's store-buffer cluster (bound at
+	// first touch); entries are removed as requests retire to bound the
+	// map. bufOf caches the binding inside requests instead, so this map
+	// only covers waves with in-flight requests.
+	waveBuf map[isa.Tag]int
+
+	fuel   int64
+	done   bool
+	result int64
+
+	res Result
+}
+
+// Run simulates a program to completion under a placement policy.
+func Run(p *isa.Program, pol placement.Policy, cfg Config) (Result, error) {
+	s, err := newSim(p, pol, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.run()
+}
+
+// RunWithMemory is Run but also returns the final memory image, for the
+// differential test suites.
+func RunWithMemory(p *isa.Program, pol placement.Policy, cfg Config) (Result, []int64, error) {
+	s, err := newSim(p, pol, cfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res, err := s.run()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return res, s.memImage, nil
+}
+
+func newSim(p *isa.Program, pol placement.Policy, cfg Config) (*sim, error) {
+	if cfg.Fuel == 0 {
+		cfg.Fuel = 200_000_000
+	}
+	net, err := noc.New(cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	memsys, err := mem.NewSystem(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	s := &sim{
+		prog:     p,
+		pol:      pol,
+		cfg:      cfg,
+		net:      net,
+		memsys:   memsys,
+		memImage: p.InitialMemory(),
+		ctxMeta:  make(map[uint32]ctxInfo),
+		nextCtx:  1,
+		waveBuf:  make(map[isa.Tag]int),
+		fuel:     cfg.Fuel,
+		pes:      make([]peState, cfg.Machine.NumPEs()),
+		bufBusy:  make([]bufState, cfg.Machine.NumClusters()),
+	}
+	for i := range s.pes {
+		s.pes[i].resident = make(map[profile.InstrRef]uint64)
+	}
+	total := 0
+	s.instrBase = make([]int, len(p.Funcs))
+	for i := range p.Funcs {
+		s.instrBase[i] = total
+		total += len(p.Funcs[i].Instrs)
+	}
+	s.opstore = make([]map[isa.Tag]*operands, total)
+	s.engine = waveorder.NewEngine(0, s.issueMem)
+	return s, nil
+}
+
+func (s *sim) run() (Result, error) {
+	// Boot: context 0 trigger lands on the entry function's pad 0.
+	s.ctxMeta[0] = ctxInfo{callerFunc: isa.NoFunc, retPad: isa.NoInstr}
+	entry := s.prog.Entry
+	s.push(&event{time: 0, kind: evToken, fn: entry,
+		dest: isa.Dest{Instr: s.prog.Funcs[entry].Params[0], Port: 0},
+		tag:  isa.Tag{Ctx: 0, Wave: 0}})
+
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.time > s.now {
+			s.now = e.time
+		}
+		if e.time > s.maxT {
+			s.maxT = e.time
+		}
+		var err error
+		switch e.kind {
+		case evToken:
+			err = s.deliver(e)
+		case evFire:
+			err = s.fire(e)
+		case evMemArrive:
+			s.engine.Submit(e.req)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if !s.done {
+		return Result{}, fmt.Errorf("wavecache: deadlock — event queue drained without program return\n%s", s.engine.DebugState())
+	}
+
+	s.res.Value = s.result
+	s.res.Cycles = s.maxT + 1
+	if s.res.Cycles > 0 {
+		s.res.IPC = float64(s.res.Fired) / float64(s.res.Cycles)
+	}
+	s.res.Net = s.net.Stats()
+	s.res.Mem = s.memsys.Stats()
+	s.res.Order = s.engine.Stats()
+	for i := range s.pes {
+		if s.pes[i].used {
+			s.res.PEsUsed++
+		}
+	}
+	return s.res, nil
+}
+
+func (s *sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+func (s *sim) homePE(fn isa.FuncID, id isa.InstrID) int {
+	return s.pol.Assign(profile.InstrRef{Func: fn, Instr: id})
+}
+
+func (s *sim) loc(pe int) noc.Loc { return s.cfg.Machine.Loc(pe) }
+
+// deliver lands a token at its destination PE, applying queue-overflow
+// penalties, tag matching, instruction-store residency, and PE firing
+// bandwidth; a complete operand tuple schedules an evFire.
+func (s *sim) deliver(e *event) error {
+	s.res.Tokens++
+	pe := s.homePE(e.fn, e.dest.Instr)
+	ps := &s.pes[pe]
+	ps.used = true
+
+	t := e.time
+	if ps.waiting >= s.cfg.InputQueue {
+		// Matching-table overflow spills to memory.
+		s.res.Overflows++
+		t += s.cfg.OverflowPenalty
+	}
+	ps.waiting++
+
+	gi := s.instrBase[e.fn] + int(e.dest.Instr)
+	in := &s.prog.Funcs[e.fn].Instrs[e.dest.Instr]
+	store := s.opstore[gi]
+	if store == nil {
+		store = make(map[isa.Tag]*operands)
+		s.opstore[gi] = store
+	}
+	ops := store[e.tag]
+	if ops == nil {
+		ops = &operands{have: in.ImmMask, vals: in.ImmVals}
+		store[e.tag] = ops
+	}
+	bit := uint8(1) << e.dest.Port
+	if ops.have&bit != 0 {
+		return fmt.Errorf("wavecache: token collision at %s/i%d port %d tag %v",
+			s.prog.Funcs[e.fn].Name, e.dest.Instr, e.dest.Port, e.tag)
+	}
+	ops.have |= bit
+	ops.vals[e.dest.Port] = e.val
+	need := in.Op.NumInputs()
+	if ops.have != (uint8(1)<<need)-1 {
+		return nil
+	}
+	delete(store, e.tag)
+	ps.waiting -= need - popcount8(in.ImmMask)
+
+	// Residency: fetch the instruction into the PE store if absent.
+	ref := profile.InstrRef{Func: e.fn, Instr: e.dest.Instr}
+	if _, ok := ps.resident[ref]; !ok {
+		s.res.Swaps++
+		t += s.cfg.SwapPenalty
+		if len(ps.resident) >= s.cfg.PEStore {
+			var victim profile.InstrRef
+			oldest := ^uint64(0)
+			for r, tick := range ps.resident {
+				if tick < oldest {
+					victim, oldest = r, tick
+				}
+			}
+			delete(ps.resident, victim)
+		}
+	}
+	ps.lruTick++
+	ps.resident[ref] = ps.lruTick
+
+	// One firing per PE per cycle.
+	fireAt := t
+	if ps.free > fireAt {
+		fireAt = ps.free
+	}
+	ps.free = fireAt + 1
+
+	s.push(&event{time: fireAt, kind: evFire, fn: e.fn, dest: e.dest, tag: e.tag, vals: ops.vals})
+	return nil
+}
+
+// send routes an output token through the operand network.
+func (s *sim) send(fromPE int, fn isa.FuncID, dests []isa.Dest, tag isa.Tag, val int64, t int64) {
+	for _, d := range dests {
+		dstPE := s.homePE(fn, d.Instr)
+		arr := s.net.Send(s.loc(fromPE), s.loc(dstPE), t)
+		s.push(&event{time: arr, kind: evToken, fn: fn, dest: d, tag: tag, val: val})
+	}
+}
+
+// bufferCluster binds a dynamic wave to a store buffer by first touch: the
+// cluster of the first PE to send one of the wave's memory messages owns
+// the whole wave, matching the WaveCache's locality-seeking dynamic wave
+// assignment.
+func (s *sim) bufferCluster(tag isa.Tag, requesterPE int) int {
+	if buf, ok := s.waveBuf[tag]; ok {
+		return buf
+	}
+	buf := s.loc(requesterPE).Cluster
+	s.waveBuf[tag] = buf
+	if len(s.waveBuf) > 1<<16 {
+		// In-flight waves are few; a large map means retired entries
+		// linger. Clearing is safe: rebinding only risks a different (still
+		// valid) cluster for stragglers.
+		s.waveBuf = map[isa.Tag]int{tag: buf}
+	}
+	return buf
+}
+
+// submitMem routes a memory message from a PE to its wave's store buffer:
+// a dedicated short path within the cluster, the mesh across clusters.
+func (s *sim) submitMem(pe int, fn isa.FuncID, id isa.InstrID, in *isa.Instruction, tag isa.Tag, addr, val int64, childCtx uint32, t int64) {
+	buf := s.bufferCluster(tag, pe)
+	var arr int64
+	if s.loc(pe).Cluster == buf {
+		arr = t + s.cfg.MemMsgLatency
+	} else {
+		arr = s.net.Send(s.loc(pe), noc.Loc{Cluster: buf}, t)
+	}
+	req := &waveorder.Request{
+		Ctx: tag.Ctx, Wave: tag.Wave,
+		Kind: in.Mem.Kind, Seq: in.Mem.Seq, Pred: in.Mem.Pred, Succ: in.Mem.Succ,
+		Addr: addr, Value: val, ChildCtx: childCtx,
+		Cookie: memCookie{fn: fn, id: id, tag: tag, fireAt: t, pe: pe, buf: buf},
+	}
+	s.push(&event{time: arr, kind: evMemArrive, req: req})
+}
+
+// fire executes one instruction instance.
+func (s *sim) fire(e *event) error {
+	s.res.Fired++
+	s.fuel--
+	if s.fuel < 0 {
+		return fmt.Errorf("wavecache: execution exceeded instruction budget")
+	}
+	fn, id, tag, vals := e.fn, e.dest.Instr, e.tag, e.vals
+	in := &s.prog.Funcs[fn].Instrs[id]
+	pe := s.homePE(fn, id)
+	t := e.time
+
+	switch {
+	case in.Op == isa.OpNop:
+		s.send(pe, fn, in.Dests, tag, vals[0], t)
+	case in.Op == isa.OpConst:
+		s.send(pe, fn, in.Dests, tag, in.Imm, t)
+	case isa.IsALU(in.Op):
+		s.send(pe, fn, in.Dests, tag, isa.EvalALU(in.Op, vals[0], vals[1]), t)
+	case in.Op == isa.OpSteer:
+		if vals[0] != 0 {
+			s.send(pe, fn, in.Dests, tag, vals[1], t)
+		} else {
+			s.send(pe, fn, in.DestsFalse, tag, vals[1], t)
+		}
+	case in.Op == isa.OpSelect:
+		v := vals[2]
+		if vals[0] != 0 {
+			v = vals[1]
+		}
+		s.send(pe, fn, in.Dests, tag, v, t)
+	case in.Op == isa.OpWaveAdvance:
+		s.send(pe, fn, in.Dests, tag.Advance(), vals[0], t)
+	case in.Op == isa.OpLoad:
+		s.submitMem(pe, fn, id, in, tag, vals[0], 0, 0, t)
+	case in.Op == isa.OpStore:
+		s.submitMem(pe, fn, id, in, tag, vals[0], vals[1], 0, t)
+		s.send(pe, fn, in.Dests, tag, vals[1], t)
+	case in.Op == isa.OpMemNop:
+		s.submitMem(pe, fn, id, in, tag, 0, 0, 0, t)
+		s.send(pe, fn, in.Dests, tag, vals[0], t)
+	case in.Op == isa.OpNewCtx:
+		ctx := s.nextCtx
+		s.nextCtx++
+		s.ctxMeta[ctx] = ctxInfo{callerFunc: fn, callerTag: tag, retPad: isa.InstrID(in.TargetPad)}
+		if in.Mem.Kind == isa.MemCall {
+			s.submitMem(pe, fn, id, in, tag, 0, 0, ctx, t)
+		}
+		s.send(pe, fn, in.Dests, tag, int64(ctx), t)
+	case in.Op == isa.OpSendArg:
+		callee := in.Target
+		ctx := uint32(vals[0])
+		pad := s.prog.Funcs[callee].Params[in.TargetPad]
+		dstPE := s.homePE(callee, pad)
+		arr := s.net.Send(s.loc(pe), s.loc(dstPE), t)
+		s.push(&event{time: arr, kind: evToken, fn: callee,
+			dest: isa.Dest{Instr: pad, Port: 0}, tag: isa.Tag{Ctx: ctx, Wave: 0}, val: vals[1]})
+	case in.Op == isa.OpReturn:
+		meta, ok := s.ctxMeta[tag.Ctx]
+		if !ok {
+			return fmt.Errorf("wavecache: return in unknown context %d", tag.Ctx)
+		}
+		delete(s.ctxMeta, tag.Ctx)
+		if in.Mem.Kind == isa.MemEnd {
+			s.submitMem(pe, fn, id, in, tag, 0, 0, 0, t)
+		}
+		if meta.retPad == isa.NoInstr {
+			s.done = true
+			s.result = vals[0]
+			return nil
+		}
+		dstPE := s.homePE(meta.callerFunc, meta.retPad)
+		arr := s.net.Send(s.loc(pe), s.loc(dstPE), t)
+		s.push(&event{time: arr, kind: evToken, fn: meta.callerFunc,
+			dest: isa.Dest{Instr: meta.retPad, Port: 0}, tag: meta.callerTag, val: vals[0]})
+	default:
+		return fmt.Errorf("wavecache: cannot execute opcode %s", in.Op)
+	}
+	return nil
+}
+
+// issueMem runs when the ordering engine releases a request in program
+// order; it performs the timed cache access and routes load replies.
+func (s *sim) issueMem(r *waveorder.Request) {
+	buf := r.Cookie.(memCookie).buf
+	switch r.Kind {
+	case isa.MemLoad:
+		ck := r.Cookie.(memCookie)
+		start := s.bufIssueTime(buf)
+		ar := s.memsys.Access(buf, clampAddr(r.Addr, len(s.memImage)), false)
+		done := start + ar.Latency
+		if s.cfg.MemMode == MemIdeal {
+			// Oracle ordering: timed as if the request issued the moment it
+			// fired at its PE.
+			done = ck.fireAt + ar.Latency
+		}
+		if s.cfg.MemMode == MemSerial {
+			if start < s.serialEnd {
+				start = s.serialEnd
+			}
+			done = start + ar.Latency
+			s.serialEnd = done + s.serialGap()
+		}
+		var v int64
+		if r.Addr >= 0 && r.Addr < int64(len(s.memImage)) {
+			v = s.memImage[r.Addr]
+		}
+		in := &s.prog.Funcs[ck.fn].Instrs[ck.id]
+		for _, d := range in.Dests {
+			dstPE := s.homePE(ck.fn, d.Instr)
+			var arr int64
+			if s.loc(dstPE).Cluster == buf {
+				arr = done + s.cfg.MemMsgLatency
+			} else {
+				arr = s.net.Send(noc.Loc{Cluster: buf}, s.loc(dstPE), done)
+			}
+			s.push(&event{time: arr, kind: evToken, fn: ck.fn, dest: d, tag: ck.tag, val: v})
+		}
+	case isa.MemStore:
+		start := s.bufIssueTime(buf)
+		ar := s.memsys.Access(buf, clampAddr(r.Addr, len(s.memImage)), true)
+		if s.cfg.MemMode == MemSerial {
+			if start < s.serialEnd {
+				start = s.serialEnd
+			}
+			s.serialEnd = start + ar.Latency + s.serialGap()
+		}
+		if r.Addr >= 0 && r.Addr < int64(len(s.memImage)) {
+			s.memImage[r.Addr] = r.Value
+		}
+	default:
+		// Ordering-only messages (nop, call, end) consume a buffer slot.
+		s.bufIssueTime(buf)
+	}
+}
+
+// serialGap is the dependence-token round trip between consecutive memory
+// operations under MemSerial: the successor's request cannot even be
+// formed until a completion token has traveled back through the cluster
+// interconnect.
+func (s *sim) serialGap() int64 { return 2 * s.cfg.Net.IntraCluster }
+
+// bufState tracks one store buffer's issue bandwidth: the latest granting
+// cycle and how many issues it carried.
+type bufState struct {
+	cycle int64
+	used  int64
+}
+
+// bufIssueTime grants a store-buffer issue slot at or after the current
+// simulation time, BufferWidth per cycle per cluster, FIFO.
+func (s *sim) bufIssueTime(cluster int) int64 {
+	width := s.cfg.BufferWidth
+	if width <= 0 {
+		width = 1
+	}
+	bs := &s.bufBusy[cluster]
+	switch {
+	case s.now > bs.cycle:
+		bs.cycle = s.now
+		bs.used = 1
+	case bs.used < width:
+		bs.used++
+	default:
+		bs.cycle++
+		bs.used = 1
+	}
+	return bs.cycle
+}
+
+func popcount8(x uint8) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func clampAddr(a int64, n int) int64 {
+	if a < 0 {
+		return 0
+	}
+	if a >= int64(n) {
+		return int64(n - 1)
+	}
+	return a
+}

@@ -1,0 +1,330 @@
+// Package waveorder implements wave-ordered memory, the central contribution
+// of the WaveScalar paper (MICRO 2003).
+//
+// Dataflow execution provides no program counter, so nothing in the
+// execution substrate says in what order two memory operations should reach
+// memory. WaveScalar recovers the sequential memory semantics imperative
+// languages require by annotating every memory operation with its position
+// in its wave's control-flow graph: a sequence number for the operation
+// itself, plus the sequence numbers of its predecessor and successor in
+// program order (wildcards where the neighbour depends on the branch taken).
+// MEMORY-NOPs fill memory-silent paths so that every executed path announces
+// one complete chain from the wave's start to its end.
+//
+// The hardware (a store buffer) assembles arriving annotations into the
+// unique chain for the dynamically executed path and issues the operations
+// to the memory system in exactly that order: an operation issues when it
+// links to the previously issued operation through either side (its Pred
+// names the previous operation, or the previous operation's Succ names it).
+// Waves issue in wave-number order; dynamic wave numbers within a context
+// are consecutive by construction (WAVE-ADVANCE on every wave crossing), so
+// the buffer always knows which wave to drain next.
+//
+// Function calls generalize the scheme hierarchically: a call occupies one
+// slot (a MemCall annotation) in the caller's chain, and the callee's whole
+// memory sequence — its waves 0..k, terminated by a MemEnd annotation on its
+// RETURN — splices into the total order at that slot. The Engine models this
+// with a stack of active contexts.
+//
+// The Engine is purely logical: it decides order, and reports each decision
+// through the IssueFunc callback. Timing simulators wrap it and charge
+// whatever latency their store-buffer hardware implies; the functional
+// interpreter calls it directly.
+package waveorder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wavescalar/internal/isa"
+)
+
+// Request is one memory message sent from an executing instruction to the
+// ordering engine.
+type Request struct {
+	Ctx  uint32 // dynamic context (function activation)
+	Wave uint32 // dynamic wave number within the context
+
+	Kind isa.MemKind
+	Seq  int32
+	Pred int32
+	Succ int32
+
+	Addr  int64 // MemLoad, MemStore
+	Value int64 // MemStore: value to write; filled with the result for MemLoad by the issuer
+
+	ChildCtx uint32 // MemCall: the context whose sequence splices in here
+
+	// Cookie is an opaque slot for the submitting engine (e.g. which
+	// processing element awaits a load reply).
+	Cookie any
+}
+
+func (r *Request) String() string {
+	return fmt.Sprintf("%s ctx%d w%d %s.%s.%s addr=%d",
+		r.Kind, r.Ctx, r.Wave, seqStr(r.Pred), seqStr(r.Seq), seqStr(r.Succ), r.Addr)
+}
+
+func seqStr(s int32) string {
+	switch s {
+	case isa.SeqWildcard:
+		return "?"
+	case isa.SeqStart:
+		return "^"
+	case isa.SeqEnd:
+		return "$"
+	}
+	return fmt.Sprintf("%d", s)
+}
+
+// IssueFunc receives requests in program order, exactly once each.
+type IssueFunc func(*Request)
+
+// waveState buffers the not-yet-issued requests of one dynamic wave.
+type waveState struct {
+	bySeq  map[int32]*Request
+	byPred map[int32]*Request
+}
+
+func newWaveState() *waveState {
+	return &waveState{bySeq: make(map[int32]*Request), byPred: make(map[int32]*Request)}
+}
+
+func (w *waveState) add(r *Request) {
+	w.bySeq[r.Seq] = r
+	if r.Pred != isa.SeqWildcard {
+		w.byPred[r.Pred] = r
+	}
+}
+
+func (w *waveState) remove(r *Request) {
+	delete(w.bySeq, r.Seq)
+	if r.Pred != isa.SeqWildcard {
+		delete(w.byPred, r.Pred)
+	}
+}
+
+func (w *waveState) empty() bool { return len(w.bySeq) == 0 }
+
+// ctxState is the ordering state of one function activation.
+type ctxState struct {
+	id       uint32
+	waves    map[uint32]*waveState
+	curWave  uint32
+	last     *Request // last issued request of curWave; nil at wave start
+	parent   *ctxState
+	callSlot *Request // the MemCall in parent that spliced this context in
+	ended    bool
+}
+
+func (c *ctxState) wave(n uint32) *waveState {
+	w := c.waves[n]
+	if w == nil {
+		w = newWaveState()
+		c.waves[n] = w
+	}
+	return w
+}
+
+// Engine assembles wave-ordered memory requests into the thread's total
+// program order.
+type Engine struct {
+	issue IssueFunc
+	ctxs  map[uint32]*ctxState
+	top   *ctxState // innermost active context (issue point)
+	root  *ctxState
+
+	pending int
+	stats   Stats
+}
+
+// Stats counts ordering-engine activity.
+type Stats struct {
+	Submitted uint64
+	Issued    uint64
+	Loads     uint64
+	Stores    uint64
+	Nops      uint64
+	Calls     uint64
+	Ends      uint64
+	WavesDone uint64
+	// MaxPending is the high-water mark of buffered (arrived, unissued)
+	// requests — the occupancy a hardware store buffer would need.
+	MaxPending int
+}
+
+// NewEngine creates an ordering engine whose total order begins with context
+// rootCtx, wave 0. Each issued request is delivered to issue exactly once,
+// in program order.
+func NewEngine(rootCtx uint32, issue IssueFunc) *Engine {
+	root := &ctxState{id: rootCtx, waves: make(map[uint32]*waveState)}
+	e := &Engine{
+		issue: issue,
+		ctxs:  map[uint32]*ctxState{rootCtx: root},
+		top:   root,
+		root:  root,
+	}
+	return e
+}
+
+// Stats returns a copy of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Pending reports how many submitted requests have not yet issued.
+func (e *Engine) Pending() int { return e.pending }
+
+// Done reports whether the root context's memory sequence has terminated.
+func (e *Engine) Done() bool { return e.root.ended }
+
+// Submit hands a request to the engine. The request (and possibly others
+// unblocked by it) may issue synchronously before Submit returns.
+func (e *Engine) Submit(r *Request) {
+	if e.root.ended {
+		panic(fmt.Sprintf("waveorder: request %v after program memory sequence ended", r))
+	}
+	c := e.ctxs[r.Ctx]
+	if c == nil {
+		c = &ctxState{id: r.Ctx, waves: make(map[uint32]*waveState)}
+		e.ctxs[r.Ctx] = c
+	}
+	c.wave(r.Wave).add(r)
+	e.pending++
+	if e.pending > e.stats.MaxPending {
+		e.stats.MaxPending = e.pending
+	}
+	e.stats.Submitted++
+	e.drain()
+}
+
+// drain issues every request that is now ordered, following chain links,
+// wave completions, call splices, and context ends until no progress is
+// possible.
+func (e *Engine) drain() {
+	for {
+		c := e.top
+		if c == nil || c.ended {
+			return
+		}
+		w := c.waves[c.curWave]
+		if w == nil {
+			return
+		}
+		var next *Request
+		if c.last == nil {
+			// Wave start: the entry operation names SeqStart as its
+			// predecessor.
+			next = w.byPred[isa.SeqStart]
+		} else {
+			if c.last.Succ != isa.SeqWildcard && c.last.Succ != isa.SeqEnd {
+				next = w.bySeq[c.last.Succ]
+			}
+			if next == nil {
+				next = w.byPred[c.last.Seq]
+			}
+		}
+		if next == nil {
+			return
+		}
+		w.remove(next)
+		if w.empty() {
+			delete(c.waves, c.curWave)
+		}
+		e.pending--
+		e.issueOne(c, next)
+	}
+}
+
+func (e *Engine) issueOne(c *ctxState, r *Request) {
+	e.stats.Issued++
+	switch r.Kind {
+	case isa.MemLoad:
+		e.stats.Loads++
+	case isa.MemStore:
+		e.stats.Stores++
+	case isa.MemNop:
+		e.stats.Nops++
+	case isa.MemCall:
+		e.stats.Calls++
+	case isa.MemEnd:
+		e.stats.Ends++
+	default:
+		panic(fmt.Sprintf("waveorder: issuing request with kind %v", r.Kind))
+	}
+	e.issue(r)
+
+	switch r.Kind {
+	case isa.MemCall:
+		// Splice the child context's sequence in at this slot. The child
+		// resumes the parent (at this call slot) when its MemEnd issues.
+		child := e.ctxs[r.ChildCtx]
+		if child == nil {
+			child = &ctxState{id: r.ChildCtx, waves: make(map[uint32]*waveState)}
+			e.ctxs[r.ChildCtx] = child
+		}
+		if child.parent != nil {
+			panic(fmt.Sprintf("waveorder: context %d spliced twice", r.ChildCtx))
+		}
+		child.parent = c
+		child.callSlot = r
+		e.top = child
+	case isa.MemEnd:
+		c.ended = true
+		delete(e.ctxs, c.id)
+		if c.parent != nil {
+			e.top = c.parent
+			// The call slot is now the parent's last issued operation; if
+			// it closed the parent's wave, advance it.
+			e.top.last = c.callSlot
+			if c.callSlot.Succ == isa.SeqEnd {
+				e.completeWave(e.top)
+			}
+		} else {
+			e.top = nil
+		}
+		return
+	default:
+		c.last = r
+	}
+	if r.Kind != isa.MemCall && r.Succ == isa.SeqEnd {
+		e.completeWave(c)
+	}
+}
+
+func (e *Engine) completeWave(c *ctxState) {
+	e.stats.WavesDone++
+	c.curWave++
+	c.last = nil
+}
+
+// DebugState renders the engine's buffered requests; used in tests and by
+// the simulators' deadlock diagnostics.
+func (e *Engine) DebugState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pending=%d top=", e.pending)
+	if e.top == nil {
+		b.WriteString("<none>")
+	} else {
+		fmt.Fprintf(&b, "ctx%d w%d", e.top.id, e.top.curWave)
+		if e.top.last != nil {
+			fmt.Fprintf(&b, " last=%s(succ %s)", seqStr(e.top.last.Seq), seqStr(e.top.last.Succ))
+		} else {
+			b.WriteString(" last=^")
+		}
+	}
+	b.WriteString("\n")
+	ids := make([]uint32, 0, len(e.ctxs))
+	for id := range e.ctxs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c := e.ctxs[id]
+		for wn, w := range c.waves {
+			for _, r := range w.bySeq {
+				fmt.Fprintf(&b, "  ctx%d w%d: %v\n", id, wn, r)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,330 @@
+package waveorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wavescalar/internal/isa"
+)
+
+// chainBuilder constructs a synthetic, correctly annotated program-order
+// request stream the way the compiler would: waves of linked operations,
+// nested call splices, a MemEnd terminator per context.
+type chainBuilder struct {
+	rng     *rand.Rand
+	nextCtx uint32
+	out     []*Request // program order
+}
+
+// buildWave appends one wave of n operations for ctx/wave, linking each
+// consecutive pair on at least one side (randomly Pred, Succ, or both), and
+// possibly recursing into child contexts at call slots.
+func (b *chainBuilder) buildWave(ctx, wave uint32, n int, depth int, last bool) {
+	seqs := b.rng.Perm(n) // arbitrary (not monotone) sequence labels
+	for i := 0; i < n; i++ {
+		r := &Request{
+			Ctx:  ctx,
+			Wave: wave,
+			Kind: isa.MemNop,
+			Seq:  int32(seqs[i]),
+			Pred: isa.SeqWildcard,
+			Succ: isa.SeqWildcard,
+		}
+		switch b.rng.Intn(4) {
+		case 0:
+			r.Kind = isa.MemLoad
+			r.Addr = int64(b.rng.Intn(64))
+		case 1:
+			r.Kind = isa.MemStore
+			r.Addr = int64(b.rng.Intn(64))
+			r.Value = b.rng.Int63()
+		}
+		if i == 0 {
+			r.Pred = isa.SeqStart
+		}
+		if i == n-1 {
+			if last {
+				// Context ends inside this wave.
+				r.Kind = isa.MemEnd
+			}
+			r.Succ = isa.SeqEnd
+		}
+		// Link to the previous op in this wave (skipping any spliced child
+		// requests): choose which side of the link is known statically.
+		if i > 0 {
+			prev := b.lastOfWave(ctx, wave)
+			switch b.rng.Intn(3) {
+			case 0:
+				r.Pred = prev.Seq
+			case 1:
+				prev.Succ = r.Seq
+			default:
+				r.Pred = prev.Seq
+				prev.Succ = r.Seq
+			}
+		}
+		// Occasionally make this op a call slot with a nested context.
+		if depth < 3 && r.Kind != isa.MemEnd && b.rng.Intn(6) == 0 {
+			r.Kind = isa.MemCall
+			b.nextCtx++
+			r.ChildCtx = b.nextCtx
+			b.out = append(b.out, r)
+			b.buildCtx(r.ChildCtx, depth+1)
+			continue
+		}
+		b.out = append(b.out, r)
+	}
+}
+
+func (b *chainBuilder) lastOfWave(ctx, wave uint32) *Request {
+	for i := len(b.out) - 1; i >= 0; i-- {
+		if b.out[i].Ctx == ctx && b.out[i].Wave == wave {
+			return b.out[i]
+		}
+	}
+	return nil
+}
+
+// buildCtx emits 1..4 waves for a fresh context; the final wave ends the
+// context.
+func (b *chainBuilder) buildCtx(ctx uint32, depth int) {
+	waves := 1 + b.rng.Intn(4)
+	for w := 0; w < waves; w++ {
+		n := 1 + b.rng.Intn(6)
+		b.buildWave(ctx, uint32(w), n, depth, w == waves-1)
+	}
+}
+
+func buildStream(seed int64) []*Request {
+	b := &chainBuilder{rng: rand.New(rand.NewSource(seed))}
+	b.buildCtx(0, 0)
+	return b.out
+}
+
+// runPermuted submits the stream in a random order and returns the issue
+// order observed.
+func runPermuted(t *testing.T, stream []*Request, seed int64) []*Request {
+	t.Helper()
+	var issued []*Request
+	e := NewEngine(0, func(r *Request) { issued = append(issued, r) })
+	perm := rand.New(rand.NewSource(seed)).Perm(len(stream))
+	for _, i := range perm {
+		e.Submit(stream[i])
+	}
+	if !e.Done() {
+		t.Fatalf("engine not done after all submissions\n%s", e.DebugState())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("engine has %d pending requests after done", e.Pending())
+	}
+	return issued
+}
+
+func TestIssueOrderEqualsProgramOrderSingleWave(t *testing.T) {
+	// Hand-built wave: 3 ops linked Start->a->b->End, submitted reversed.
+	mk := func(seq, pred, succ int32) *Request {
+		return &Request{Ctx: 0, Wave: 0, Kind: isa.MemNop, Seq: seq, Pred: pred, Succ: succ}
+	}
+	a := mk(0, isa.SeqStart, 1)
+	bb := mk(1, 0, isa.SeqWildcard)
+	c := &Request{Ctx: 0, Wave: 0, Kind: isa.MemEnd, Seq: 2, Pred: 1, Succ: isa.SeqEnd}
+	var got []int32
+	e := NewEngine(0, func(r *Request) { got = append(got, r.Seq) })
+	e.Submit(c)
+	e.Submit(bb)
+	if len(got) != 0 {
+		t.Fatalf("issued %v before chain head arrived", got)
+	}
+	e.Submit(a)
+	want := []int32{0, 1, 2}
+	if len(got) != 3 {
+		t.Fatalf("issued %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("issued %v, want %v", got, want)
+		}
+	}
+	if !e.Done() {
+		t.Fatal("engine should be done")
+	}
+}
+
+func TestWildcardLinkEitherSide(t *testing.T) {
+	// b's Pred is a wildcard but a's Succ names b: the chain must still
+	// resolve (branch target knows nothing, branch source knows target).
+	a := &Request{Kind: isa.MemNop, Seq: 5, Pred: isa.SeqStart, Succ: 9}
+	b := &Request{Kind: isa.MemEnd, Seq: 9, Pred: isa.SeqWildcard, Succ: isa.SeqEnd}
+	var got []int32
+	e := NewEngine(0, func(r *Request) { got = append(got, r.Seq) })
+	e.Submit(b)
+	e.Submit(a)
+	if len(got) != 2 || got[0] != 5 || got[1] != 9 {
+		t.Fatalf("issue order %v, want [5 9]", got)
+	}
+}
+
+func TestWavesIssueInWaveNumberOrder(t *testing.T) {
+	w0 := &Request{Wave: 0, Kind: isa.MemStore, Seq: 0, Pred: isa.SeqStart, Succ: isa.SeqEnd, Addr: 1, Value: 10}
+	w1 := &Request{Wave: 1, Kind: isa.MemStore, Seq: 0, Pred: isa.SeqStart, Succ: isa.SeqEnd, Addr: 1, Value: 20}
+	w2 := &Request{Wave: 2, Kind: isa.MemEnd, Seq: 0, Pred: isa.SeqStart, Succ: isa.SeqEnd}
+	var got []int64
+	e := NewEngine(0, func(r *Request) {
+		if r.Kind == isa.MemStore {
+			got = append(got, r.Value)
+		}
+	})
+	e.Submit(w2)
+	e.Submit(w1)
+	if len(got) != 0 {
+		t.Fatalf("later waves issued before wave 0: %v", got)
+	}
+	e.Submit(w0)
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("store order %v, want [10 20]", got)
+	}
+	if !e.Done() {
+		t.Fatal("not done")
+	}
+}
+
+func TestCallSpliceNesting(t *testing.T) {
+	// Parent: store(1) ; call child ; store(3). Child: store(2) ; end.
+	p1 := &Request{Ctx: 0, Kind: isa.MemStore, Seq: 0, Pred: isa.SeqStart, Succ: 1, Addr: 0, Value: 1}
+	call := &Request{Ctx: 0, Kind: isa.MemCall, Seq: 1, Pred: 0, Succ: 2, ChildCtx: 7}
+	p3 := &Request{Ctx: 0, Kind: isa.MemStore, Seq: 2, Pred: 1, Succ: isa.SeqWildcard, Addr: 0, Value: 3}
+	pEnd := &Request{Ctx: 0, Kind: isa.MemEnd, Seq: 3, Pred: 2, Succ: isa.SeqEnd}
+	c2 := &Request{Ctx: 7, Kind: isa.MemStore, Seq: 0, Pred: isa.SeqStart, Succ: 1, Addr: 0, Value: 2}
+	cEnd := &Request{Ctx: 7, Kind: isa.MemEnd, Seq: 1, Pred: 0, Succ: isa.SeqEnd}
+
+	for seed := int64(0); seed < 20; seed++ {
+		var got []int64
+		e := NewEngine(0, func(r *Request) {
+			if r.Kind == isa.MemStore {
+				got = append(got, r.Value)
+			}
+		})
+		all := []*Request{copyReq(p1), copyReq(call), copyReq(p3), copyReq(pEnd), copyReq(c2), copyReq(cEnd)}
+		for _, i := range rand.New(rand.NewSource(seed)).Perm(len(all)) {
+			e.Submit(all[i])
+		}
+		if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+			t.Fatalf("seed %d: store order %v, want [1 2 3]", seed, got)
+		}
+		if !e.Done() {
+			t.Fatalf("seed %d: not done\n%s", seed, e.DebugState())
+		}
+	}
+}
+
+func copyReq(r *Request) *Request { c := *r; return &c }
+
+func TestCallSlotClosingWave(t *testing.T) {
+	// The call is the last slot of wave 0; wave 1 must wait for the child.
+	call := &Request{Ctx: 0, Wave: 0, Kind: isa.MemCall, Seq: 0, Pred: isa.SeqStart, Succ: isa.SeqEnd, ChildCtx: 3}
+	w1 := &Request{Ctx: 0, Wave: 1, Kind: isa.MemStore, Seq: 0, Pred: isa.SeqStart, Succ: 1, Addr: 0, Value: 9}
+	end := &Request{Ctx: 0, Wave: 1, Kind: isa.MemEnd, Seq: 1, Pred: 0, Succ: isa.SeqEnd}
+	childStore := &Request{Ctx: 3, Wave: 0, Kind: isa.MemStore, Seq: 0, Pred: isa.SeqStart, Succ: 1, Addr: 0, Value: 4}
+	childEnd := &Request{Ctx: 3, Wave: 0, Kind: isa.MemEnd, Seq: 1, Pred: 0, Succ: isa.SeqEnd}
+
+	var got []int64
+	e := NewEngine(0, func(r *Request) {
+		if r.Kind == isa.MemStore {
+			got = append(got, r.Value)
+		}
+	})
+	e.Submit(w1)
+	e.Submit(end)
+	e.Submit(call)
+	if len(got) != 0 {
+		t.Fatalf("wave 1 issued before child context finished: %v", got)
+	}
+	e.Submit(childStore)
+	e.Submit(childEnd)
+	if len(got) != 2 || got[0] != 4 || got[1] != 9 {
+		t.Fatalf("store order %v, want [4 9]", got)
+	}
+	if !e.Done() {
+		t.Fatal("not done")
+	}
+}
+
+// TestRandomStreamsProperty is the central invariant: for randomly generated
+// correctly-annotated streams submitted in arbitrary arrival order, the
+// engine issues every request exactly once, in program order.
+func TestRandomStreamsProperty(t *testing.T) {
+	prop := func(streamSeed, permSeed int64) bool {
+		stream := buildStream(streamSeed)
+		issued := runPermuted(t, stream, permSeed)
+		if len(issued) != len(stream) {
+			return false
+		}
+		for i := range stream {
+			if issued[i] != stream[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	stream := buildStream(42)
+	e := NewEngine(0, func(*Request) {})
+	for _, r := range stream {
+		e.Submit(r)
+	}
+	s := e.Stats()
+	if s.Submitted != uint64(len(stream)) || s.Issued != uint64(len(stream)) {
+		t.Fatalf("submitted=%d issued=%d want both %d", s.Submitted, s.Issued, len(stream))
+	}
+	if s.Loads+s.Stores+s.Nops+s.Calls+s.Ends != s.Issued {
+		t.Fatalf("kind counters %d+%d+%d+%d+%d do not sum to issued %d",
+			s.Loads, s.Stores, s.Nops, s.Calls, s.Ends, s.Issued)
+	}
+	// In-order submission should never buffer more than one wave's worth;
+	// at minimum MaxPending must be >= 1.
+	if s.MaxPending < 1 {
+		t.Fatalf("MaxPending = %d", s.MaxPending)
+	}
+}
+
+func TestDoubleSplicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double splice")
+		}
+	}()
+	e := NewEngine(0, func(*Request) {})
+	// Context 0 splices in context 5; context 5 then tries to splice in
+	// itself, which re-parents an already-spliced context and must panic.
+	e.Submit(&Request{Ctx: 0, Kind: isa.MemCall, Seq: 0, Pred: isa.SeqStart, Succ: 1, ChildCtx: 5})
+	e.Submit(&Request{Ctx: 5, Kind: isa.MemCall, Seq: 0, Pred: isa.SeqStart, Succ: 1, ChildCtx: 5})
+}
+
+func TestSubmitAfterEndPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on submit after program end")
+		}
+	}()
+	e := NewEngine(0, func(*Request) {})
+	e.Submit(&Request{Ctx: 0, Kind: isa.MemEnd, Seq: 0, Pred: isa.SeqStart, Succ: isa.SeqEnd})
+	e.Submit(&Request{Ctx: 1, Kind: isa.MemNop, Seq: 1, Pred: 0, Succ: isa.SeqEnd})
+}
+
+func BenchmarkEngineInOrder(b *testing.B) {
+	stream := buildStream(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(0, func(*Request) {})
+		for _, r := range stream {
+			rc := *r
+			e.Submit(&rc)
+		}
+	}
+}

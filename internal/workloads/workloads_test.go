@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"testing"
+
+	"wavescalar/internal/cfgir"
+	"wavescalar/internal/lang"
+)
+
+func TestAllWorkloadsEvaluate(t *testing.T) {
+	for _, w := range All {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			got, err := lang.EvalProgram(w.Src)
+			if err != nil {
+				t.Fatalf("%s does not run: %v", w.Name, err)
+			}
+			if got == 0 {
+				t.Errorf("%s checksum is 0 (degenerate)", w.Name)
+			}
+			t.Logf("%s checksum=%d", w.Name, got)
+		})
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, w := range All {
+		a, err := lang.EvalProgram(w.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := lang.EvalProgram(w.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%s not deterministic: %d vs %d", w.Name, a, b)
+		}
+	}
+}
+
+func TestWorkloadSizes(t *testing.T) {
+	// Keep kernels big enough to be interesting and small enough to
+	// simulate: 50k..5M executed IR instructions.
+	for _, w := range All {
+		f, err := lang.ParseAndCheck(w.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := cfgir.Build(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fn := range p.Funcs {
+			fn.Compact()
+		}
+		p.Optimize()
+		ip := cfgir.NewInterp(p, 0)
+		if _, err := ip.Run(); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if ip.Instrs < 20_000 {
+			t.Errorf("%s executes only %d IR instructions; too small to measure", w.Name, ip.Instrs)
+		}
+		if ip.Instrs > 5_000_000 {
+			t.Errorf("%s executes %d IR instructions; too slow to sweep", w.Name, ip.Instrs)
+		}
+		t.Logf("%s: %d dynamic IR instructions", w.Name, ip.Instrs)
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	if ByName("fft") == nil || ByName("nope") != nil {
+		t.Error("ByName broken")
+	}
+	if len(Names()) != len(All) {
+		t.Error("Names length mismatch")
+	}
+	seen := map[string]bool{}
+	for _, w := range All {
+		if w.Name == "" || w.Mirrors == "" || w.Description == "" {
+			t.Errorf("workload %q missing metadata", w.Name)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}

@@ -1,0 +1,358 @@
+// Package wavescalar is the public API of this repository: a from-scratch
+// implementation of the WaveScalar dataflow architecture (MICRO 2003) — the
+// tagged-token dataflow ISA with wave-ordered memory, a compiler targeting
+// it, the WaveCache tiled microarchitecture simulator, and an out-of-order
+// superscalar baseline for comparison.
+//
+// Quick start:
+//
+//	prog, err := wavescalar.Compile(src, wavescalar.DefaultCompileConfig())
+//	value, _ := prog.Interpret()               // ideal dataflow machine
+//	res, _ := prog.Simulate(wavescalar.DefaultSimConfig())   // WaveCache
+//	base, _ := prog.SimulateBaseline(wavescalar.DefaultBaselineConfig())
+//	fmt.Println(res.Cycles, base.Cycles)
+//
+// The experiment harness that regenerates the paper's evaluation lives in
+// cmd/waveexp; the language reference is in internal/lang's package
+// documentation.
+package wavescalar
+
+import (
+	"fmt"
+
+	"wavescalar/internal/asm"
+	"wavescalar/internal/cfgir"
+	"wavescalar/internal/interp"
+	"wavescalar/internal/isa"
+	"wavescalar/internal/lang"
+	"wavescalar/internal/linear"
+	"wavescalar/internal/ooo"
+	"wavescalar/internal/placement"
+	"wavescalar/internal/wavec"
+	"wavescalar/internal/wavecache"
+)
+
+// CompileConfig controls the compilation pipeline.
+type CompileConfig struct {
+	// Unroll is the loop-unrolling factor (0 or 1 disables).
+	Unroll int
+	// UseSelect lowers small pure if/else diamonds to φ SELECT
+	// instructions instead of φ⁻¹ steers.
+	UseSelect bool
+	// Optimize enables the IR optimizer (constant folding, CSE, DCE).
+	Optimize bool
+}
+
+// DefaultCompileConfig mirrors the experiment harness pipeline.
+func DefaultCompileConfig() CompileConfig {
+	return CompileConfig{Unroll: 4, Optimize: true}
+}
+
+// Program is a compiled wsl program, carrying both the WaveScalar dataflow
+// binary and the linear baseline binary.
+type Program struct {
+	Source   string
+	dataflow *isa.Program
+	linear   *linear.Program
+}
+
+// Compile runs the full pipeline: lex/parse/check, optional unrolling, IR
+// construction and optimization, then both backends.
+func Compile(src string, cfg CompileConfig) (*Program, error) {
+	build := func() (*cfgir.Program, error) {
+		f, err := lang.ParseAndCheck(src)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Unroll > 1 {
+			lang.Unroll(f, cfg.Unroll)
+		}
+		p, err := cfgir.Build(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, fn := range p.Funcs {
+			fn.Compact()
+		}
+		if cfg.Optimize {
+			p.Optimize()
+		}
+		return p, nil
+	}
+
+	// The dataflow backend mutates the IR, so build twice.
+	irForLinear, err := build()
+	if err != nil {
+		return nil, err
+	}
+	lp, err := linear.Compile(irForLinear)
+	if err != nil {
+		return nil, err
+	}
+	irForWave, err := build()
+	if err != nil {
+		return nil, err
+	}
+	wp, err := wavec.Compile(irForWave, wavec.Options{IfConvert: cfg.UseSelect})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Source: src, dataflow: wp, linear: lp}, nil
+}
+
+// Disassemble renders the WaveScalar dataflow binary as assembly text.
+func (p *Program) Disassemble() string { return asm.Print(p.dataflow) }
+
+// ExportDot renders a function's dataflow graph in GraphViz format (pipe
+// through `dot -Tsvg`). The empty name selects the entry function.
+func (p *Program) ExportDot(function string) (string, error) {
+	fn := p.dataflow.Entry
+	if function != "" {
+		found := isa.NoFunc
+		for i := range p.dataflow.Funcs {
+			if p.dataflow.Funcs[i].Name == function {
+				found = isa.FuncID(i)
+				break
+			}
+		}
+		if found == isa.NoFunc {
+			return "", fmt.Errorf("wavescalar: no function %q", function)
+		}
+		fn = found
+	}
+	return asm.Dot(p.dataflow, fn), nil
+}
+
+// EncodeBinary serializes the dataflow binary to the compact on-disk
+// format; DecodeBinary loads it back.
+func (p *Program) EncodeBinary() []byte { return isa.Encode(p.dataflow) }
+
+// DecodeBinary loads a program from the binary format produced by
+// EncodeBinary. Like ParseAssembly, the result has no linear baseline.
+func DecodeBinary(data []byte) (*Program, error) {
+	dp, err := isa.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{dataflow: dp}, nil
+}
+
+// StaticInstructions returns the dataflow binary's instruction count.
+func (p *Program) StaticInstructions() int { return p.dataflow.NumInstrs() }
+
+// InterpretResult reports an ideal-dataflow-machine run.
+type InterpretResult struct {
+	Value        int64
+	Fired        uint64 // dynamic dataflow instructions
+	Tokens       uint64
+	WaveAdvances uint64
+	Steers       uint64
+	MemoryOps    uint64
+	// MaxParallelism is the high-water mark of simultaneously in-flight
+	// tokens.
+	MaxParallelism int
+}
+
+// Interpret executes the program on the reference tagged-token dataflow
+// interpreter (unbounded PEs, unit latency).
+func (p *Program) Interpret() (InterpretResult, error) {
+	m := interp.New(p.dataflow, 0)
+	v, err := m.Run()
+	if err != nil {
+		return InterpretResult{}, err
+	}
+	st := m.Stats()
+	return InterpretResult{
+		Value:          v,
+		Fired:          st.Fired,
+		Tokens:         st.Tokens,
+		WaveAdvances:   st.WaveAdvance,
+		Steers:         st.Steers,
+		MemoryOps:      st.Loads + st.Stores,
+		MaxParallelism: m.MaxQueue(),
+	}, nil
+}
+
+// SimConfig parameterizes the WaveCache simulation. Zero values select the
+// published processor parameters scaled for kernel workloads.
+type SimConfig struct {
+	// GridW x GridH clusters (default 4x4).
+	GridW, GridH int
+	// Placement policy name (see PlacementPolicies; default
+	// dynamic-depth-first-snake).
+	Placement string
+	// Density is the number of instruction homes packed per PE (default 16).
+	Density int
+	// PEStore is the per-PE instruction store size (default 64).
+	PEStore int
+	// InputQueue is the matching-table capacity before spills (default 64).
+	InputQueue int
+	// MemoryMode is "wave-ordered" (default), "serialized", or "ideal".
+	MemoryMode string
+	// L1Words overrides the per-cluster L1 size in 64-bit words.
+	L1Words int64
+	// Fuel bounds fired instructions (0 = default).
+	Fuel int64
+}
+
+// DefaultSimConfig returns the tuned kernel-scale configuration.
+func DefaultSimConfig() SimConfig { return SimConfig{} }
+
+// PlacementPolicies lists the available placement policy names.
+func PlacementPolicies() []string { return placement.Names() }
+
+// SimResult reports a WaveCache simulation.
+type SimResult struct {
+	Value     int64
+	Cycles    int64
+	Fired     uint64
+	IPC       float64
+	Tokens    uint64
+	Swaps     uint64
+	Overflows uint64
+	PEsUsed   int
+
+	L1MissRate      float64
+	CoherenceMoves  uint64
+	NetworkMessages uint64
+	MemoryOps       uint64
+}
+
+// Simulate runs the program on the cycle-level WaveCache simulator.
+func (p *Program) Simulate(sc SimConfig) (SimResult, error) {
+	if sc.GridW == 0 {
+		sc.GridW = 4
+	}
+	if sc.GridH == 0 {
+		sc.GridH = 4
+	}
+	cfg := wavecache.DefaultConfig(sc.GridW, sc.GridH)
+	if sc.Density == 0 {
+		sc.Density = 16
+	}
+	cfg.Machine.Capacity = sc.Density
+	if sc.PEStore != 0 {
+		cfg.PEStore = sc.PEStore
+	}
+	if sc.InputQueue == 0 {
+		sc.InputQueue = 64
+	}
+	cfg.InputQueue = sc.InputQueue
+	switch sc.MemoryMode {
+	case "", "wave-ordered":
+		cfg.MemMode = wavecache.MemOrdered
+	case "serialized":
+		cfg.MemMode = wavecache.MemSerial
+	case "ideal":
+		cfg.MemMode = wavecache.MemIdeal
+	default:
+		return SimResult{}, fmt.Errorf("wavescalar: unknown memory mode %q", sc.MemoryMode)
+	}
+	if sc.L1Words != 0 {
+		cfg.Mem.L1.SizeWords = sc.L1Words
+	}
+	cfg.Fuel = sc.Fuel
+	if sc.Placement == "" {
+		sc.Placement = "dynamic-depth-first-snake"
+	}
+	pol, err := placement.New(sc.Placement, cfg.Machine, p.dataflow, 12345)
+	if err != nil {
+		return SimResult{}, err
+	}
+	res, err := wavecache.Run(p.dataflow, pol, cfg)
+	if err != nil {
+		return SimResult{}, err
+	}
+	out := SimResult{
+		Value:           res.Value,
+		Cycles:          res.Cycles,
+		Fired:           res.Fired,
+		IPC:             res.IPC,
+		Tokens:          res.Tokens,
+		Swaps:           res.Swaps,
+		Overflows:       res.Overflows,
+		PEsUsed:         res.PEsUsed,
+		CoherenceMoves:  res.Mem.Transfers + res.Mem.Invals,
+		NetworkMessages: res.Net.Messages,
+		MemoryOps:       res.Order.Loads + res.Order.Stores,
+	}
+	if res.Mem.Accesses > 0 {
+		out.L1MissRate = float64(res.Mem.L1Misses) / float64(res.Mem.Accesses)
+	}
+	return out, nil
+}
+
+// BaselineConfig parameterizes the out-of-order superscalar baseline.
+type BaselineConfig struct {
+	// Width sets fetch/issue/commit width (default 8).
+	Width int
+	// WindowSize is the ROB size (default 256).
+	WindowSize int
+	// L1Words overrides the L1 size.
+	L1Words int64
+	// Fuel bounds dynamic instructions (0 = default).
+	Fuel int64
+}
+
+// DefaultBaselineConfig is the aggressive superscalar of the evaluation.
+func DefaultBaselineConfig() BaselineConfig { return BaselineConfig{} }
+
+// BaselineResult reports a superscalar simulation.
+type BaselineResult struct {
+	Value       int64
+	Cycles      int64
+	Instrs      uint64
+	IPC         float64
+	Branches    uint64
+	Mispredicts uint64
+	L1MissRate  float64
+}
+
+// SimulateBaseline runs the program on the out-of-order superscalar model.
+func (p *Program) SimulateBaseline(bc BaselineConfig) (BaselineResult, error) {
+	if p.linear == nil {
+		return BaselineResult{}, ErrNoBaseline
+	}
+	cfg := ooo.DefaultConfig()
+	if bc.Width != 0 {
+		cfg.FetchWidth, cfg.IssueWidth, cfg.CommitWidth = bc.Width, bc.Width, bc.Width
+	}
+	if bc.WindowSize != 0 {
+		cfg.ROBSize = bc.WindowSize
+	}
+	if bc.L1Words != 0 {
+		cfg.Mem.L1.SizeWords = bc.L1Words
+	}
+	cfg.Fuel = bc.Fuel
+	res, err := ooo.Run(p.linear, cfg)
+	if err != nil {
+		return BaselineResult{}, err
+	}
+	out := BaselineResult{
+		Value:       res.Value,
+		Cycles:      res.Cycles,
+		Instrs:      res.Instrs,
+		IPC:         res.IPC,
+		Branches:    res.Branches,
+		Mispredicts: res.Mispredicts,
+	}
+	if res.Mem.Accesses > 0 {
+		out.L1MissRate = float64(res.Mem.L1Misses) / float64(res.Mem.Accesses)
+	}
+	return out, nil
+}
+
+// ParseAssembly loads a hand-written WaveScalar assembly program. The
+// linear baseline is unavailable for such programs (Simulate and Interpret
+// work; SimulateBaseline returns an error).
+func ParseAssembly(text string) (*Program, error) {
+	p, err := asm.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{dataflow: p}, nil
+}
+
+// ErrNoBaseline is returned by SimulateBaseline for programs loaded from
+// assembly.
+var ErrNoBaseline = fmt.Errorf("wavescalar: program has no linear baseline binary")

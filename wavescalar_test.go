@@ -1,0 +1,179 @@
+package wavescalar
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoSrc = `
+global a[32];
+
+func main() {
+	var s = 0;
+	for var i = 0; i < 32; i = i + 1 {
+		a[i] = i * i;
+	}
+	for var i = 0; i < 32; i = i + 1 {
+		s = s + a[i];
+	}
+	return s;
+}
+`
+
+const demoWant = 10416 // sum of squares 0..31
+
+func TestCompileAndAllEngines(t *testing.T) {
+	prog, err := Compile(demoSrc, DefaultCompileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := prog.Interpret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Value != demoWant {
+		t.Fatalf("interpret = %d, want %d", ir.Value, demoWant)
+	}
+	if ir.Fired == 0 || ir.Steers == 0 || ir.WaveAdvances == 0 || ir.MemoryOps == 0 {
+		t.Errorf("interpret stats look empty: %+v", ir)
+	}
+
+	sim, err := prog.Simulate(DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Value != demoWant {
+		t.Fatalf("simulate = %d, want %d", sim.Value, demoWant)
+	}
+	if sim.Cycles <= 0 || sim.IPC <= 0 || sim.PEsUsed == 0 {
+		t.Errorf("simulate stats look empty: %+v", sim)
+	}
+
+	base, err := prog.SimulateBaseline(DefaultBaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Value != demoWant {
+		t.Fatalf("baseline = %d, want %d", base.Value, demoWant)
+	}
+	if base.Cycles <= 0 || base.IPC <= 0 {
+		t.Errorf("baseline stats look empty: %+v", base)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("this is not wsl", DefaultCompileConfig()); err == nil {
+		t.Error("garbage source accepted")
+	}
+	if _, err := Compile(`func f() { return 0; }`, DefaultCompileConfig()); err == nil {
+		t.Error("program without main accepted")
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	prog, err := Compile(demoSrc, DefaultCompileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := prog.Disassemble()
+	if !strings.Contains(text, "func main") || !strings.Contains(text, "mem=") {
+		t.Fatalf("disassembly looks wrong:\n%s", text[:200])
+	}
+	back, err := ParseAssembly(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := back.Interpret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Value != demoWant {
+		t.Fatalf("round-tripped program computes %d, want %d", ir.Value, demoWant)
+	}
+	if _, err := back.SimulateBaseline(DefaultBaselineConfig()); err != ErrNoBaseline {
+		t.Errorf("expected ErrNoBaseline, got %v", err)
+	}
+}
+
+func TestSimConfigVariants(t *testing.T) {
+	prog, err := Compile(demoSrc, DefaultCompileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []SimConfig{
+		{GridW: 1, GridH: 1},
+		{MemoryMode: "serialized"},
+		{MemoryMode: "ideal"},
+		{Placement: "random"},
+		{Density: 4, PEStore: 8},
+		{L1Words: 64},
+	} {
+		res, err := prog.Simulate(sc)
+		if err != nil {
+			t.Fatalf("%+v: %v", sc, err)
+		}
+		if res.Value != demoWant {
+			t.Errorf("%+v: value %d", sc, res.Value)
+		}
+	}
+	if _, err := prog.Simulate(SimConfig{MemoryMode: "nope"}); err == nil {
+		t.Error("bad memory mode accepted")
+	}
+	if _, err := prog.Simulate(SimConfig{Placement: "nope"}); err == nil {
+		t.Error("bad placement accepted")
+	}
+}
+
+func TestUseSelectVariant(t *testing.T) {
+	cfg := DefaultCompileConfig()
+	cfg.UseSelect = true
+	prog, err := Compile(demoSrc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := prog.Interpret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Value != demoWant {
+		t.Fatalf("select variant computes %d", ir.Value)
+	}
+}
+
+func TestPlacementPolicies(t *testing.T) {
+	if len(PlacementPolicies()) < 6 {
+		t.Error("expected at least 6 placement policies")
+	}
+}
+
+func TestExportDotAndBinary(t *testing.T) {
+	prog, err := Compile(demoSrc, DefaultCompileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot, err := prog.ExportDot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot, "digraph") {
+		t.Error("dot output missing digraph")
+	}
+	if _, err := prog.ExportDot("nope"); err == nil {
+		t.Error("unknown function accepted")
+	}
+	data := prog.EncodeBinary()
+	back, err := DecodeBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := back.Interpret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != demoWant {
+		t.Fatalf("binary round trip computes %d, want %d", res.Value, demoWant)
+	}
+	if _, err := DecodeBinary([]byte("junk")); err == nil {
+		t.Error("junk binary accepted")
+	}
+}
