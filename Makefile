@@ -1,0 +1,28 @@
+# CI entry points. `make ci` is the full gate: vet, build, the whole
+# test suite, and the race-detector pass over the concurrent packages
+# (the parallel pool, the harness cell fan-out, and the simulators whose
+# Run contracts promise read-only program sharing).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/parallel ./internal/harness ./internal/wavecache ./internal/ooo
+
+# bench regenerates the reduced-configuration experiment benchmarks,
+# including the harness worker-pool wall-clock comparison
+# (BenchmarkHarnessCells{Sequential,Parallel}).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

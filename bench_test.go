@@ -95,6 +95,50 @@ func BenchmarkE10_SwapCost(b *testing.B) { runExperiment(b, "E10") }
 // BenchmarkE11_Unrolling regenerates the loop-unrolling ablation.
 func BenchmarkE11_Unrolling(b *testing.B) { runExperiment(b, "E11") }
 
+// benchExperimentWorkers reports the harness wall-clock for one
+// experiment at a fixed worker count; comparing the Sequential and
+// Parallel variants below shows the speedup of the cell pool (identical
+// tables either way — see harness.MachineOptions.Workers).
+func benchExperimentWorkers(b *testing.B, id string, workers int) {
+	b.Helper()
+	set := benchSuite(b)
+	e := harness.ExperimentByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	m := benchMachine()
+	m.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(set, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHarnessCellsSequential runs E1's simulation cells on one
+// worker goroutine; BenchmarkHarnessCellsParallel fans the same cells
+// across one worker per CPU.
+func BenchmarkHarnessCellsSequential(b *testing.B) { benchExperimentWorkers(b, "E1", 1) }
+func BenchmarkHarnessCellsParallel(b *testing.B)  { benchExperimentWorkers(b, "E1", 0) }
+
+// BenchmarkSuiteCompileSequential / Parallel measure whole-suite
+// compilation at one worker vs one per CPU.
+func benchSuiteCompile(b *testing.B, workers int) {
+	b.Helper()
+	opts := harness.DefaultCompileOptions()
+	opts.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Suite([]string{"lu", "fft", "adpcm"}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteCompileSequential(b *testing.B) { benchSuiteCompile(b, 1) }
+func BenchmarkSuiteCompileParallel(b *testing.B)   { benchSuiteCompile(b, 0) }
+
 // BenchmarkCompile measures the full compilation pipeline (frontend, IR,
 // optimizer, both backends) on one kernel.
 func BenchmarkCompile(b *testing.B) {

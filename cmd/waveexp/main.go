@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	waveexp [-experiments E1,E4] [-benches fft,lu] [-grid 4x4] [-out results.txt]
+//	waveexp [-experiments E1,E4] [-benches fft,lu] [-grid 4x4] [-j 8] [-out results.txt]
+//
+// Compilation and the experiments' simulation cells fan out across -j
+// worker goroutines (default: one per CPU). The tables are byte-identical
+// at any -j setting — results are collected by cell index, never by
+// completion order — so only the timing lines vary between runs.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,7 +32,11 @@ func main() {
 	grid := flag.String("grid", "4x4", "cluster grid, WxH")
 	outPath := flag.String("out", "", "write results to this file instead of stdout")
 	unroll := flag.Int("unroll", 4, "loop unrolling factor")
+	jobs := flag.Int("j", runtime.NumCPU(), "worker goroutines for compilation and simulation cells (1 = sequential)")
 	flag.Parse()
+	if *jobs < 1 {
+		fatal(fmt.Errorf("-j must be >= 1, got %d", *jobs))
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -44,6 +54,7 @@ func main() {
 	}
 	copts := harness.DefaultCompileOptions()
 	copts.Unroll = *unroll
+	copts.Workers = *jobs
 	start := time.Now()
 	fmt.Fprintf(out, "compiling %d workloads...\n", len(pick(names)))
 	set, err := harness.Suite(names, copts)
@@ -53,6 +64,7 @@ func main() {
 	fmt.Fprintf(out, "compiled in %v\n", time.Since(start).Round(time.Millisecond))
 
 	m := harness.DefaultMachineOptions()
+	m.Workers = *jobs
 	if _, err := fmt.Sscanf(*grid, "%dx%d", &m.GridW, &m.GridH); err != nil {
 		fatal(fmt.Errorf("bad -grid %q: %v", *grid, err))
 	}

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"wavescalar/internal/interp"
+	"wavescalar/internal/lang"
+	"wavescalar/internal/linear"
+	"wavescalar/internal/ooo"
+	"wavescalar/internal/wavecache"
+	"wavescalar/internal/workloads"
+)
+
+// fullSuite caches the whole compiled benchmark suite across the
+// differential tests; compiling ten workloads through four backends is
+// the expensive part, so it runs once per test binary.
+var fullSuite struct {
+	once sync.Once
+	set  []*Compiled
+	err  error
+}
+
+func fullSet(t *testing.T) []*Compiled {
+	t.Helper()
+	fullSuite.once.Do(func() {
+		fullSuite.set, fullSuite.err = Suite(nil, DefaultCompileOptions())
+	})
+	if fullSuite.err != nil {
+		t.Fatal(fullSuite.err)
+	}
+	return fullSuite.set
+}
+
+// TestDifferentialChecksums is the cross-engine correctness suite: for
+// every workload, every execution engine in the repo — the AST evaluator,
+// the linear emulator, the dataflow interpreter (on all three compiled
+// binaries), the WaveCache timing simulator (in all three memory modes),
+// and the out-of-order baseline — must agree on the final checksum.
+func TestDifferentialChecksums(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite differential sweep is slow")
+	}
+	set := fullSet(t)
+	m := quickMachine()
+
+	waveEngine := func(mode wavecache.MemoryMode) func(c *Compiled) (int64, error) {
+		return func(c *Compiled) (int64, error) {
+			cfg := m.WaveConfig()
+			cfg.MemMode = mode
+			res, err := wavecache.Run(c.Wave, m.NewPolicy(c.Wave), cfg)
+			return res.Value, err
+		}
+	}
+	engines := []struct {
+		name string
+		run  func(c *Compiled) (int64, error)
+	}{
+		{"ast-evaluator", func(c *Compiled) (int64, error) {
+			return lang.EvalProgram(workloads.ByName(c.Name).Src)
+		}},
+		{"linear-emulator", func(c *Compiled) (int64, error) {
+			return linear.NewEmulator(c.Linear, 0).Run()
+		}},
+		{"interp-steer", func(c *Compiled) (int64, error) {
+			return interp.New(c.Wave, 0).Run()
+		}},
+		{"interp-select", func(c *Compiled) (int64, error) {
+			return interp.New(c.WaveSel, 0).Run()
+		}},
+		{"interp-rolled", func(c *Compiled) (int64, error) {
+			return interp.New(c.WaveNoUn, 0).Run()
+		}},
+		{"wavecache-" + wavecache.MemOrdered.String(), waveEngine(wavecache.MemOrdered)},
+		{"wavecache-" + wavecache.MemSerial.String(), waveEngine(wavecache.MemSerial)},
+		{"wavecache-" + wavecache.MemIdeal.String(), waveEngine(wavecache.MemIdeal)},
+		{"ooo", func(c *Compiled) (int64, error) {
+			res, err := ooo.Run(c.Linear, DefaultOoOConfig())
+			return res.Value, err
+		}},
+	}
+
+	for _, c := range set {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, e := range engines {
+				e := e
+				t.Run(e.name, func(t *testing.T) {
+					t.Parallel()
+					got, err := e.run(c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != c.Checksum {
+						t.Errorf("checksum %d, want %d", got, c.Checksum)
+					}
+				})
+			}
+		})
+	}
+}

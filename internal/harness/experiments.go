@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"wavescalar/internal/ooo"
 	"wavescalar/internal/placement"
 	"wavescalar/internal/stats"
 	"wavescalar/internal/wavecache"
@@ -93,27 +94,42 @@ func ExperimentByID(id string) *Experiment {
 func runE1(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 	t := stats.NewTable("E1: performance (AIPC = useful instructions per cycle)",
 		"bench", "useful", "ooo-ipc", "wc-aipc", "wc-raw-ipc", "ideal-aipc", "speedup")
+	type row struct {
+		ores       ooo.Result
+		wres, ires wavecache.Result
+	}
+	rows := make([]row, len(set))
+	cells := newCellSet(m)
+	for i, c := range set {
+		cells.add(func() error {
+			var err error
+			rows[i].ores, err = RunOoO(c, DefaultOoOConfig())
+			return err
+		})
+		cells.add(func() error {
+			var err error
+			rows[i].wres, err = RunWave(c, c.Wave, m.NewPolicy(c.Wave), m.WaveConfig())
+			return err
+		})
+		cells.add(func() error {
+			var err error
+			rows[i].ires, err = RunWave(c, c.Wave, placement.NewDynamicSnake(idealWaveConfig().Machine), idealWaveConfig())
+			return err
+		})
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
 	var speedups, wcs, ooos []float64
-	for _, c := range set {
-		ores, err := RunOoO(c, DefaultOoOConfig())
-		if err != nil {
-			return nil, err
-		}
-		wres, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), m.WaveConfig())
-		if err != nil {
-			return nil, err
-		}
-		ires, err := RunWave(c, c.Wave, placement.NewDynamicSnake(idealWaveConfig().Machine), idealWaveConfig())
-		if err != nil {
-			return nil, err
-		}
-		sp := float64(ores.Cycles) / float64(wres.Cycles)
+	for i, c := range set {
+		r := &rows[i]
+		sp := float64(r.ores.Cycles) / float64(r.wres.Cycles)
 		speedups = append(speedups, sp)
-		wcs = append(wcs, AIPC(c.UsefulInstrs, wres.Cycles))
-		ooos = append(ooos, ores.IPC)
-		t.AddRow(c.Name, c.UsefulInstrs, ores.IPC,
-			AIPC(c.UsefulInstrs, wres.Cycles), wres.IPC,
-			AIPC(c.UsefulInstrs, ires.Cycles), sp)
+		wcs = append(wcs, AIPC(c.UsefulInstrs, r.wres.Cycles))
+		ooos = append(ooos, r.ores.IPC)
+		t.AddRow(c.Name, c.UsefulInstrs, r.ores.IPC,
+			AIPC(c.UsefulInstrs, r.wres.Cycles), r.wres.IPC,
+			AIPC(c.UsefulInstrs, r.ires.Cycles), sp)
 	}
 	t.AddRow("geomean", "", stats.GeoMean(ooos), stats.GeoMean(wcs), "", "", stats.GeoMean(speedups))
 	t.Note = "speedup = ooo cycles / WaveCache cycles on identical source"
@@ -127,24 +143,39 @@ func runE2(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 		headers = append(headers, fmt.Sprintf("aipc@%d", c), fmt.Sprintf("swaps@%d", c))
 	}
 	t := stats.NewTable("E2: AIPC and swaps vs. PE instruction-store capacity (1x1 grid)", headers...)
-	for _, c := range set {
+	grid := make([]wavecache.Result, len(set)*len(caps))
+	cells := newCellSet(m)
+	for bi, c := range set {
+		for ci, capacity := range caps {
+			slot := bi*len(caps) + ci
+			cells.add(func() error {
+				cfg := m.WaveConfig()
+				cfg.Machine = placement.DefaultMachine(1, 1)
+				cfg.Machine.Capacity = capacity
+				cfg.PEStore = capacity
+				cfg.Net = wavecache.DefaultConfig(1, 1).Net
+				cfg.Mem = wavecache.DefaultConfig(1, 1).Mem
+				cfg.InputQueue = m.InputQueue
+				pol, err := placement.New(m.Policy, cfg.Machine, c.Wave, 12345)
+				if err != nil {
+					return err
+				}
+				res, err := RunWave(c, c.Wave, pol, cfg)
+				if err != nil {
+					return err
+				}
+				grid[slot] = res
+				return nil
+			})
+		}
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
+	for bi, c := range set {
 		row := []any{c.Name}
-		for _, capacity := range caps {
-			cfg := m.WaveConfig()
-			cfg.Machine = placement.DefaultMachine(1, 1)
-			cfg.Machine.Capacity = capacity
-			cfg.PEStore = capacity
-			cfg.Net = wavecache.DefaultConfig(1, 1).Net
-			cfg.Mem = wavecache.DefaultConfig(1, 1).Mem
-			cfg.InputQueue = m.InputQueue
-			pol, err := placement.New(m.Policy, cfg.Machine, c.Wave, 12345)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunWave(c, c.Wave, pol, cfg)
-			if err != nil {
-				return nil, err
-			}
+		for ci := range caps {
+			res := &grid[bi*len(caps)+ci]
 			row = append(row, AIPC(c.UsefulInstrs, res.Cycles), res.Swaps)
 		}
 		t.AddRow(row...)
@@ -159,17 +190,30 @@ func runE3(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 		headers = append(headers, fmt.Sprintf("aipc@%dx%d", g[0], g[1]))
 	}
 	t := stats.NewTable("E3: AIPC vs. cluster grid size", headers...)
-	for _, c := range set {
+	grid := make([]wavecache.Result, len(set)*len(grids))
+	cells := newCellSet(m)
+	for bi, c := range set {
+		for gi, g := range grids {
+			slot := bi*len(grids) + gi
+			cells.add(func() error {
+				opt := m
+				opt.GridW, opt.GridH = g[0], g[1]
+				res, err := RunWave(c, c.Wave, opt.NewPolicy(c.Wave), opt.WaveConfig())
+				if err != nil {
+					return err
+				}
+				grid[slot] = res
+				return nil
+			})
+		}
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
+	for bi, c := range set {
 		row := []any{c.Name}
-		for _, g := range grids {
-			opt := m
-			opt.GridW, opt.GridH = g[0], g[1]
-			cfg := opt.WaveConfig()
-			res, err := RunWave(c, c.Wave, opt.NewPolicy(c.Wave), cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, AIPC(c.UsefulInstrs, res.Cycles))
+		for gi := range grids {
+			row = append(row, AIPC(c.UsefulInstrs, grid[bi*len(grids)+gi].Cycles))
 		}
 		t.AddRow(row...)
 	}
@@ -179,26 +223,38 @@ func runE3(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 func runE4(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 	t := stats.NewTable("E4: AIPC by memory ordering strategy",
 		"bench", "wave-ordered", "serialized", "oracle", "ordered/serial", "oracle/ordered")
-	var ratios []float64
-	for _, c := range set {
-		var cycles [3]int64
-		for i, mode := range []wavecache.MemoryMode{wavecache.MemOrdered, wavecache.MemSerial, wavecache.MemIdeal} {
-			cfg := m.WaveConfig()
-			cfg.MemMode = mode
-			res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
-			if err != nil {
-				return nil, err
-			}
-			cycles[i] = res.Cycles
+	modes := []wavecache.MemoryMode{wavecache.MemOrdered, wavecache.MemSerial, wavecache.MemIdeal}
+	cycles := make([]int64, len(set)*len(modes))
+	cells := newCellSet(m)
+	for bi, c := range set {
+		for mi, mode := range modes {
+			slot := bi*len(modes) + mi
+			cells.add(func() error {
+				cfg := m.WaveConfig()
+				cfg.MemMode = mode
+				res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+				if err != nil {
+					return err
+				}
+				cycles[slot] = res.Cycles
+				return nil
+			})
 		}
-		r := float64(cycles[1]) / float64(cycles[0])
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
+	var ratios []float64
+	for bi, c := range set {
+		cy := cycles[bi*len(modes) : (bi+1)*len(modes)]
+		r := float64(cy[1]) / float64(cy[0])
 		ratios = append(ratios, r)
 		t.AddRow(c.Name,
-			AIPC(c.UsefulInstrs, cycles[0]),
-			AIPC(c.UsefulInstrs, cycles[1]),
-			AIPC(c.UsefulInstrs, cycles[2]),
+			AIPC(c.UsefulInstrs, cy[0]),
+			AIPC(c.UsefulInstrs, cy[1]),
+			AIPC(c.UsefulInstrs, cy[2]),
 			r,
-			float64(cycles[0])/float64(cycles[2]))
+			float64(cy[0])/float64(cy[2]))
 	}
 	t.Note = fmt.Sprintf("geomean speedup of wave-ordered over serialized memory: %.2fx", stats.GeoMean(ratios))
 	return t, nil
@@ -211,20 +267,34 @@ func runE5(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 		headers = append(headers, fmt.Sprintf("aipc@x%d", s))
 	}
 	t := stats.NewTable("E5: AIPC vs. operand-network latency scale", headers...)
-	for _, c := range set {
+	cycles := make([]int64, len(set)*len(scales))
+	cells := newCellSet(m)
+	for bi, c := range set {
+		for si, s := range scales {
+			slot := bi*len(scales) + si
+			cells.add(func() error {
+				cfg := m.WaveConfig()
+				cfg.Net.IntraPod *= s
+				cfg.Net.IntraDomain *= s
+				cfg.Net.IntraCluster *= s
+				cfg.Net.InterClusterBase *= s
+				cfg.Net.LinkLatency *= s
+				res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+				if err != nil {
+					return err
+				}
+				cycles[slot] = res.Cycles
+				return nil
+			})
+		}
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
+	for bi, c := range set {
 		row := []any{c.Name}
-		for _, s := range scales {
-			cfg := m.WaveConfig()
-			cfg.Net.IntraPod *= s
-			cfg.Net.IntraDomain *= s
-			cfg.Net.IntraCluster *= s
-			cfg.Net.InterClusterBase *= s
-			cfg.Net.LinkLatency *= s
-			res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, AIPC(c.UsefulInstrs, res.Cycles))
+		for si := range scales {
+			row = append(row, AIPC(c.UsefulInstrs, cycles[bi*len(scales)+si]))
 		}
 		t.AddRow(row...)
 	}
@@ -243,16 +313,31 @@ func runE6(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 	}
 	headers = append(headers, "spills@16")
 	t := stats.NewTable("E6: AIPC vs. PE input-queue capacity", headers...)
-	for _, c := range set {
+	grid := make([]wavecache.Result, len(set)*len(queues))
+	cells := newCellSet(m)
+	for bi, c := range set {
+		for qi, q := range queues {
+			slot := bi*len(queues) + qi
+			cells.add(func() error {
+				cfg := m.WaveConfig()
+				cfg.InputQueue = q
+				res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+				if err != nil {
+					return err
+				}
+				grid[slot] = res
+				return nil
+			})
+		}
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
+	for bi, c := range set {
 		row := []any{c.Name}
 		var spills16 uint64
-		for _, q := range queues {
-			cfg := m.WaveConfig()
-			cfg.InputQueue = q
-			res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
-			if err != nil {
-				return nil, err
-			}
+		for qi, q := range queues {
+			res := &grid[bi*len(queues)+qi]
 			if q == 16 {
 				spills16 = res.Overflows
 			}
@@ -272,17 +357,32 @@ func runE7(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 	}
 	headers = append(headers, "missrate@2KB", "transfers@2KB")
 	t := stats.NewTable("E7: AIPC vs. per-cluster L1 size; coherence traffic", headers...)
-	for _, c := range set {
+	grid := make([]wavecache.Result, len(set)*len(sizes))
+	cells := newCellSet(m)
+	for bi, c := range set {
+		for si, s := range sizes {
+			slot := bi*len(sizes) + si
+			cells.add(func() error {
+				cfg := m.WaveConfig()
+				cfg.Mem.L1.SizeWords = s
+				res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+				if err != nil {
+					return err
+				}
+				grid[slot] = res
+				return nil
+			})
+		}
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
+	for bi, c := range set {
 		row := []any{c.Name}
 		var miss float64
 		var transfers uint64
-		for _, s := range sizes {
-			cfg := m.WaveConfig()
-			cfg.Mem.L1.SizeWords = s
-			res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
-			if err != nil {
-				return nil, err
-			}
+		for si, s := range sizes {
+			res := &grid[bi*len(sizes)+si]
 			if s == 256 {
 				if res.Mem.Accesses > 0 {
 					miss = float64(res.Mem.L1Misses) / float64(res.Mem.Accesses)
@@ -302,32 +402,42 @@ func runE8(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 	policies := placement.Names()
 	headers := append([]string{"bench"}, policies...)
 	t := stats.NewTable("E8: AIPC by placement algorithm", headers...)
-	sums := make([]float64, len(policies))
-	counts := 0
+	grid := make([]wavecache.Result, len(set)*len(policies))
+	cells := newCellSet(m)
+	for bi, c := range set {
+		for pi, name := range policies {
+			slot := bi*len(policies) + pi
+			cells.add(func() error {
+				cfg := m.WaveConfig()
+				pol, err := placement.New(name, cfg.Machine, c.Wave, 12345)
+				if err != nil {
+					return err
+				}
+				res, err := RunWave(c, c.Wave, pol, cfg)
+				if err != nil {
+					return err
+				}
+				grid[slot] = res
+				return nil
+			})
+		}
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
 	perPolicy := make([][]float64, len(policies))
-	for _, c := range set {
+	for bi, c := range set {
 		row := []any{c.Name}
-		for i, name := range policies {
-			cfg := m.WaveConfig()
-			pol, err := placement.New(name, cfg.Machine, c.Wave, 12345)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunWave(c, c.Wave, pol, cfg)
-			if err != nil {
-				return nil, err
-			}
-			a := AIPC(c.UsefulInstrs, res.Cycles)
-			perPolicy[i] = append(perPolicy[i], a)
-			sums[i] += a
+		for pi := range policies {
+			a := AIPC(c.UsefulInstrs, grid[bi*len(policies)+pi].Cycles)
+			perPolicy[pi] = append(perPolicy[pi], a)
 			row = append(row, a)
 		}
-		counts++
 		t.AddRow(row...)
 	}
 	geo := []any{"geomean"}
-	for i := range policies {
-		geo = append(geo, stats.GeoMean(perPolicy[i]))
+	for pi := range policies {
+		geo = append(geo, stats.GeoMean(perPolicy[pi]))
 	}
 	t.AddRow(geo...)
 	return t, nil
@@ -336,19 +446,32 @@ func runE8(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 func runE9(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 	t := stats.NewTable("E9: steer (φ⁻¹) vs. select (φ) control",
 		"bench", "steer-aipc", "select-aipc", "steer-static", "select-static", "steer-fired", "select-fired")
-	for _, c := range set {
-		rs, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), m.WaveConfig())
-		if err != nil {
-			return nil, err
-		}
-		rsel, err := RunWave(c, c.WaveSel, m.NewPolicy(c.WaveSel), m.WaveConfig())
-		if err != nil {
-			return nil, err
-		}
+	type row struct {
+		rs, rsel wavecache.Result
+	}
+	rows := make([]row, len(set))
+	cells := newCellSet(m)
+	for i, c := range set {
+		cells.add(func() error {
+			var err error
+			rows[i].rs, err = RunWave(c, c.Wave, m.NewPolicy(c.Wave), m.WaveConfig())
+			return err
+		})
+		cells.add(func() error {
+			var err error
+			rows[i].rsel, err = RunWave(c, c.WaveSel, m.NewPolicy(c.WaveSel), m.WaveConfig())
+			return err
+		})
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
+	for i, c := range set {
+		r := &rows[i]
 		t.AddRow(c.Name,
-			AIPC(c.UsefulInstrs, rs.Cycles), AIPC(c.UsefulInstrs, rsel.Cycles),
+			AIPC(c.UsefulInstrs, r.rs.Cycles), AIPC(c.UsefulInstrs, r.rsel.Cycles),
 			c.Wave.NumInstrs(), c.WaveSel.NumInstrs(),
-			rs.Fired, rsel.Fired)
+			r.rs.Fired, r.rsel.Fired)
 	}
 	return t, nil
 }
@@ -360,18 +483,32 @@ func runE10(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 		headers = append(headers, fmt.Sprintf("aipc@%d", c))
 	}
 	t := stats.NewTable("E10: AIPC vs. instruction swap penalty (8-per-PE stores)", headers...)
-	for _, c := range set {
+	cycles := make([]int64, len(set)*len(costs))
+	cells := newCellSet(m)
+	for bi, c := range set {
+		for ci, cost := range costs {
+			slot := bi*len(costs) + ci
+			cells.add(func() error {
+				cfg := m.WaveConfig()
+				cfg.PEStore = 8
+				cfg.Machine.Capacity = 8
+				cfg.SwapPenalty = cost
+				res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+				if err != nil {
+					return err
+				}
+				cycles[slot] = res.Cycles
+				return nil
+			})
+		}
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
+	for bi, c := range set {
 		row := []any{c.Name}
-		for _, cost := range costs {
-			cfg := m.WaveConfig()
-			cfg.PEStore = 8
-			cfg.Machine.Capacity = 8
-			cfg.SwapPenalty = cost
-			res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, AIPC(c.UsefulInstrs, res.Cycles))
+		for ci := range costs {
+			row = append(row, AIPC(c.UsefulInstrs, cycles[bi*len(costs)+ci]))
 		}
 		t.AddRow(row...)
 	}
@@ -382,34 +519,49 @@ func runE10(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 func runE11(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 	t := stats.NewTable("E11: loop unrolling ablation",
 		"bench", "wc-rolled-cyc", "wc-unrolled-cyc", "wc-gain", "ooo-rolled-cyc", "ooo-unrolled-cyc", "ooo-gain")
+	type row struct {
+		wr, wu wavecache.Result
+		or, ou ooo.Result
+	}
+	rows := make([]row, len(set))
+	cells := newCellSet(m)
+	for i, c := range set {
+		cells.add(func() error {
+			var err error
+			rows[i].wr, err = wavecache.Run(c.WaveNoUn, m.NewPolicy(c.WaveNoUn), m.WaveConfig())
+			return err
+		})
+		cells.add(func() error {
+			var err error
+			rows[i].wu, err = RunWave(c, c.Wave, m.NewPolicy(c.Wave), m.WaveConfig())
+			return err
+		})
+		cells.add(func() error {
+			// Rolled linear build for the baseline.
+			rolled, err := CompileWorkload(mustWorkload(c.Name), CompileOptions{Unroll: 1})
+			if err != nil {
+				return err
+			}
+			rows[i].or, err = RunOoO(rolled, DefaultOoOConfig())
+			return err
+		})
+		cells.add(func() error {
+			var err error
+			rows[i].ou, err = RunOoO(c, DefaultOoOConfig())
+			return err
+		})
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
 	var wcGains, oooGains []float64
-	for _, c := range set {
-		wr, err := wavecache.Run(c.WaveNoUn, m.NewPolicy(c.WaveNoUn), m.WaveConfig())
-		if err != nil {
-			return nil, err
-		}
-		wu, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), m.WaveConfig())
-		if err != nil {
-			return nil, err
-		}
-		// Rolled linear build for the baseline.
-		rolled, err := CompileWorkload(mustWorkload(c.Name), CompileOptions{Unroll: 1})
-		if err != nil {
-			return nil, err
-		}
-		or, err := RunOoO(rolled, DefaultOoOConfig())
-		if err != nil {
-			return nil, err
-		}
-		ou, err := RunOoO(c, DefaultOoOConfig())
-		if err != nil {
-			return nil, err
-		}
-		wcGain := float64(wr.Cycles) / float64(wu.Cycles)
-		oooGain := float64(or.Cycles) / float64(ou.Cycles)
+	for i, c := range set {
+		r := &rows[i]
+		wcGain := float64(r.wr.Cycles) / float64(r.wu.Cycles)
+		oooGain := float64(r.or.Cycles) / float64(r.ou.Cycles)
 		wcGains = append(wcGains, wcGain)
 		oooGains = append(oooGains, oooGain)
-		t.AddRow(c.Name, wr.Cycles, wu.Cycles, wcGain, or.Cycles, ou.Cycles, oooGain)
+		t.AddRow(c.Name, r.wr.Cycles, r.wu.Cycles, wcGain, r.or.Cycles, r.ou.Cycles, oooGain)
 	}
 	t.Note = fmt.Sprintf("geomean unrolling gain: WaveCache %.2fx, superscalar %.2fx",
 		stats.GeoMean(wcGains), stats.GeoMean(oooGains))

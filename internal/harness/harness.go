@@ -3,11 +3,21 @@
 // regenerating one table/figure of the paper's evaluation section (see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for results and
 // paper-vs-measured discussion).
+//
+// Every experiment is expressed as a set of independent simulation cells —
+// one (workload, configuration, engine) run each — fanned across a bounded
+// worker pool (internal/parallel) and collected into index-addressed slots,
+// so the rendered tables are byte-identical whatever the worker count.
+// Each cell constructs its own placement policy, memory system, and
+// simulator state; the shared *isa.Program and *linear.Program are
+// read-only during simulation (see the concurrency contracts on
+// wavecache.Run and ooo.Run).
 package harness
 
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"wavescalar/internal/cfgir"
 	"wavescalar/internal/interp"
@@ -16,6 +26,7 @@ import (
 	"wavescalar/internal/linear"
 	"wavescalar/internal/mem"
 	"wavescalar/internal/ooo"
+	"wavescalar/internal/parallel"
 	"wavescalar/internal/placement"
 	"wavescalar/internal/stats"
 	"wavescalar/internal/wavec"
@@ -41,6 +52,9 @@ type Compiled struct {
 // CompileOptions controls the build pipeline.
 type CompileOptions struct {
 	Unroll int // loop unrolling factor (0/1 = off)
+	// Workers bounds the goroutines Suite compiles workloads across
+	// (0 = one per CPU, 1 = sequential).
+	Workers int
 }
 
 // DefaultCompileOptions is the harness pipeline: unroll by 4, as the
@@ -83,7 +97,10 @@ func CompileWorkload(w *workloads.Workload, opts CompileOptions) (*Compiled, err
 	// (edge splitting) but that does not change semantics or instruction
 	// counts materially, so rebuild cleanly for fairness.
 	{
-		f, _ := lang.ParseAndCheck(w.Src)
+		f, err := lang.ParseAndCheck(w.Src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: frontend: %w", w.Name, err)
+		}
 		if opts.Unroll > 1 {
 			lang.Unroll(f, opts.Unroll)
 		}
@@ -126,23 +143,24 @@ func CompileWorkload(w *workloads.Workload, opts CompileOptions) (*Compiled, err
 }
 
 // Suite compiles a set of workloads (all of them if names is empty).
+// Workloads compile concurrently across opts.Workers goroutines; the
+// returned slice is ordered by name position, independent of which
+// compilation finished first.
 func Suite(names []string, opts CompileOptions) ([]*Compiled, error) {
-	var out []*Compiled
 	if len(names) == 0 {
 		names = workloads.Names()
 	}
-	for _, n := range names {
+	picked := make([]*workloads.Workload, len(names))
+	for i, n := range names {
 		w := workloads.ByName(n)
 		if w == nil {
 			return nil, fmt.Errorf("harness: unknown workload %q", n)
 		}
-		c, err := CompileWorkload(w, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, c)
+		picked[i] = w
 	}
-	return out, nil
+	return parallel.Map(opts.Workers, len(picked), func(i int) (*Compiled, error) {
+		return CompileWorkload(picked[i], opts)
+	})
 }
 
 // MachineOptions is the simulated-hardware configuration shared by the
@@ -158,6 +176,11 @@ type MachineOptions struct {
 	InputQueue int
 	// Policy names the placement policy.
 	Policy string
+	// Workers bounds the goroutines an experiment fans its simulation
+	// cells across (0 = one per CPU, 1 = sequential). Any value produces
+	// byte-identical tables: cells collect results by index, never by
+	// completion order.
+	Workers int
 }
 
 // DefaultMachineOptions is the tuned kernel-scale configuration.
@@ -233,16 +256,20 @@ type Experiment struct {
 }
 
 // RunAll executes every experiment, writing each table to w as it
-// completes.
+// completes, followed by a per-experiment wall-clock line. The timing
+// lines are the only output that varies between runs; the tables
+// themselves are deterministic at any m.Workers setting.
 func RunAll(set []*Compiled, m MachineOptions, w io.Writer) error {
 	for _, e := range Experiments {
 		fmt.Fprintf(w, "\n## %s — %s\n\n", e.ID, e.Title)
 		fmt.Fprintf(w, "Paper claim: %s\n\n", e.Claim)
+		t0 := time.Now()
 		tbl, err := e.Run(set, m)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Fprintln(w, tbl.Render())
+		fmt.Fprintf(w, "(%s in %v)\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
 	return nil
 }

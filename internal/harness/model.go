@@ -4,6 +4,7 @@ import (
 	"wavescalar/internal/interp"
 	"wavescalar/internal/placement"
 	"wavescalar/internal/placemodel"
+	"wavescalar/internal/profile"
 	"wavescalar/internal/stats"
 	"wavescalar/internal/wavecache"
 )
@@ -48,27 +49,56 @@ func runM1(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 		{"random", 3}, {"random", 99}, {"packed-random", 3}, {"packed-random", 99},
 	}
 
-	var combAll []float64
-	for _, c := range set {
-		im := interp.New(c.Wave, 0)
-		prof := im.CollectProfile(simCfg.Mem.L1.LineWords)
-		if _, err := im.Run(); err != nil {
-			return nil, err
+	// Per bench: one profiling interpreter run plus one simulation per
+	// candidate layout, all independent cells. Model evaluation needs the
+	// profile and the policy's post-run layout together, so it happens in
+	// the sequential collection pass.
+	type candRun struct {
+		pol placement.Policy
+		ipc float64
+	}
+	profs := make([]*profile.Profile, len(set))
+	runs := make([]candRun, len(set)*len(cands))
+	cells := newCellSet(m)
+	for bi, c := range set {
+		cells.add(func() error {
+			im := interp.New(c.Wave, 0)
+			prof := im.CollectProfile(simCfg.Mem.L1.LineWords)
+			if _, err := im.Run(); err != nil {
+				return err
+			}
+			profs[bi] = prof
+			return nil
+		})
+		for cdi, cd := range cands {
+			slot := bi*len(cands) + cdi
+			cells.add(func() error {
+				pol, err := placement.New(cd.name, mach, c.Wave, cd.seed)
+				if err != nil {
+					return err
+				}
+				res, err := RunWave(c, c.Wave, pol, simCfg)
+				if err != nil {
+					return err
+				}
+				runs[slot] = candRun{pol: pol, ipc: res.IPC}
+				return nil
+			})
 		}
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
 
+	var combAll []float64
+	for bi, c := range set {
+		prof := profs[bi]
 		var comps []placemodel.Components
 		var ipcs []float64
-		for _, cd := range cands {
-			pol, err := placement.New(cd.name, mach, c.Wave, cd.seed)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunWave(c, c.Wave, pol, simCfg)
-			if err != nil {
-				return nil, err
-			}
-			comps = append(comps, placemodel.Evaluate(cfg, prof, placemodel.ExtractLayout(pol, prof)))
-			ipcs = append(ipcs, res.IPC)
+		for cdi := range cands {
+			r := &runs[bi*len(cands)+cdi]
+			comps = append(comps, placemodel.Evaluate(cfg, prof, placemodel.ExtractLayout(r.pol, prof)))
+			ipcs = append(ipcs, r.ipc)
 		}
 
 		col := func(get func(placemodel.Components) float64) float64 {

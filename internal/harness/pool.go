@@ -1,0 +1,32 @@
+package harness
+
+import "wavescalar/internal/parallel"
+
+// cellSet is how an experiment declares its simulation cells: one closure
+// per independent (workload, configuration, engine) run. Cells are
+// declared in the sequential baseline's loop order, executed across the
+// configured worker pool in arbitrary order, and must write their results
+// only through slots they own (an index into a pre-sized slice, or one
+// field of that slice's element) so that the table built afterwards is
+// byte-identical to a sequential run.
+//
+// Cells must be self-contained: construct placement policies, configs, and
+// any seeded state inside the cell, never share them across cells.
+type cellSet struct {
+	workers int
+	jobs    []func() error
+}
+
+// newCellSet sizes a cell set for the machine's worker pool.
+func newCellSet(m MachineOptions) *cellSet {
+	return &cellSet{workers: m.Workers}
+}
+
+// add declares one cell.
+func (cs *cellSet) add(job func() error) { cs.jobs = append(cs.jobs, job) }
+
+// run executes every declared cell on the pool and returns the
+// lowest-declaration-index error, if any.
+func (cs *cellSet) run() error {
+	return parallel.ForEach(cs.workers, len(cs.jobs), func(i int) error { return cs.jobs[i]() })
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"wavescalar/internal/mem"
+	"wavescalar/internal/ooo"
 	"wavescalar/internal/stats"
+	"wavescalar/internal/wavecache"
 )
 
 func init() {
@@ -51,23 +53,46 @@ func runE1b(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 		headers = append(headers, "speedup@"+r.name)
 	}
 	t := stats.NewTable("E1b: WaveCache speedup over superscalar, by memory regime", headers...)
-	geo := make([][]float64, len(regimes))
-	for _, c := range set {
-		row := []any{c.Name}
+	type cell struct {
+		wres wavecache.Result
+		ores ooo.Result
+	}
+	grid := make([]cell, len(set)*len(regimes))
+	cells := newCellSet(m)
+	for bi, c := range set {
 		for ri, r := range regimes {
-			wcfg := m.WaveConfig()
-			r.apply(&wcfg.Mem)
-			wres, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), wcfg)
-			if err != nil {
-				return nil, err
-			}
-			ocfg := DefaultOoOConfig()
-			r.apply(&ocfg.Mem)
-			ores, err := RunOoO(c, ocfg)
-			if err != nil {
-				return nil, err
-			}
-			sp := float64(ores.Cycles) / float64(wres.Cycles)
+			slot := bi*len(regimes) + ri
+			cells.add(func() error {
+				wcfg := m.WaveConfig()
+				r.apply(&wcfg.Mem)
+				res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), wcfg)
+				if err != nil {
+					return err
+				}
+				grid[slot].wres = res
+				return nil
+			})
+			cells.add(func() error {
+				ocfg := DefaultOoOConfig()
+				r.apply(&ocfg.Mem)
+				res, err := RunOoO(c, ocfg)
+				if err != nil {
+					return err
+				}
+				grid[slot].ores = res
+				return nil
+			})
+		}
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
+	geo := make([][]float64, len(regimes))
+	for bi, c := range set {
+		row := []any{c.Name}
+		for ri := range regimes {
+			g := &grid[bi*len(regimes)+ri]
+			sp := float64(g.ores.Cycles) / float64(g.wres.Cycles)
 			geo[ri] = append(geo[ri], sp)
 			row = append(row, sp)
 		}

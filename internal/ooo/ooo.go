@@ -240,6 +240,13 @@ type core struct {
 }
 
 // Run executes the program on the modeled core.
+//
+// Concurrency contract: Run treats p as strictly read-only; the emulator
+// driving the trace and all timing state (schedules, predictor, LSQ,
+// memory system) are allocated per call. Any number of Runs may share one
+// *linear.Program concurrently (exercised under the race detector by
+// TestConcurrentRunsShareProgram), and identical (p, cfg) inputs produce
+// bit-identical Results.
 func Run(p *linear.Program, cfg Config) (Result, error) {
 	if cfg.Fuel == 0 {
 		cfg.Fuel = 500_000_000

@@ -1,6 +1,8 @@
 package ooo
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 
 	"wavescalar/internal/cfgir"
@@ -203,6 +205,34 @@ func TestCapSchedule(t *testing.T) {
 	s.advanceLow(20)
 	if s.reserve(5) != 20 {
 		t.Error("advanceLow not respected")
+	}
+}
+
+// TestConcurrentRunsShareProgram exercises the concurrency contract on
+// Run: many simulations of ONE *linear.Program running concurrently must
+// neither race (run under -race) nor diverge — the program is read-only,
+// so every run must produce a bit-identical Result.
+func TestConcurrentRunsShareProgram(t *testing.T) {
+	lp := compileSource(t, testprogs.Heavy[1].Src) // sort_64
+	const runs = 8
+	results := make([]Result, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = Run(lp, DefaultConfig())
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("run %d diverged:\n%+v\nwant\n%+v", i, results[i], results[0])
+		}
 	}
 }
 

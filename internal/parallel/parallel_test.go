@@ -1,0 +1,146 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 100
+			hits := make([]int32, n)
+			err := ForEach(workers, n, func(i int) error {
+				atomic.AddInt32(&hits[i], 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("job %d ran %d times", i, h)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachCollectsByIndex(t *testing.T) {
+	const n = 64
+	out := make([]int, n)
+	if err := ForEach(8, n, func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("job ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachSequentialErrorIsFirst(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	err := ForEach(1, 10, func(i int) error {
+		ran = append(ran, i)
+		if i >= 3 {
+			return fmt.Errorf("job %d: %w", i, boom)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("sequential mode ran %v, want stop after first error", ran)
+	}
+}
+
+func TestForEachParallelReturnsLowestIndexError(t *testing.T) {
+	// Every job fails; the reported error must be the lowest-index one
+	// among those recorded, and with every job failing, job 0 always runs
+	// (workers claim indices in order), so the answer is deterministic.
+	err := ForEach(8, 32, func(i int) error {
+		return fmt.Errorf("job %d failed", i)
+	})
+	if err == nil || err.Error() != "job 0 failed" {
+		t.Fatalf("err = %v, want job 0 failed", err)
+	}
+}
+
+func TestForEachStopsClaimingAfterError(t *testing.T) {
+	var ran atomic.Int64
+	_ = ForEach(2, 1<<20, func(i int) error {
+		ran.Add(1)
+		return errors.New("fail fast")
+	})
+	if n := ran.Load(); n >= 1<<20 {
+		t.Fatalf("ran all %d jobs despite early error", n)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != "kaboom" {
+					t.Fatalf("recovered %v, want kaboom", r)
+				}
+			}()
+			_ = ForEach(workers, 8, func(i int) error {
+				if i == 5 {
+					panic("kaboom")
+				}
+				return nil
+			})
+			t.Fatal("ForEach returned instead of panicking")
+		})
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	out, err := Map(8, 50, func(i int) (string, error) {
+		return fmt.Sprintf("cell-%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 50 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i, v := range out {
+		if v != fmt.Sprintf("cell-%d", i) {
+			t.Fatalf("slot %d = %q", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := Map(4, 10, func(i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}

@@ -238,6 +238,18 @@ type sim struct {
 }
 
 // Run simulates a program to completion under a placement policy.
+//
+// Concurrency contract: Run treats p as strictly read-only — the simulator
+// takes interior pointers into p.Funcs[*].Instrs for speed but never
+// writes through them, and its mutable state (memory image, operand
+// stores, PE/buffer state, the ordering engine) is allocated per call
+// from p.InitialMemory() and cfg. Any number of Runs may therefore share
+// one *isa.Program concurrently (exercised under the race detector by
+// TestConcurrentRunsShareProgram). The placement policy IS mutated during
+// the run: construct a fresh Policy per call, with any seed derived
+// deterministically per cell, and never share one across goroutines.
+// Identical (p, policy construction, cfg) inputs produce bit-identical
+// Results.
 func Run(p *isa.Program, pol placement.Policy, cfg Config) (Result, error) {
 	s, err := newSim(p, pol, cfg)
 	if err != nil {

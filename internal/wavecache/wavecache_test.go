@@ -1,6 +1,8 @@
 package wavecache
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 
 	"wavescalar/internal/cfgir"
@@ -260,6 +262,50 @@ func TestTinyInputQueueCausesOverflow(t *testing.T) {
 	if res.Cycles <= res2.Cycles {
 		t.Errorf("tiny queue (%d cycles) not slower than infinite queue (%d)", res.Cycles, res2.Cycles)
 	}
+}
+
+// TestConcurrentRunsShareProgram exercises the concurrency contract on
+// Run: many simulations of ONE *isa.Program, each with its own policy and
+// config, running concurrently must neither race (run under -race) nor
+// diverge from each other — every run sees the same read-only program and
+// must produce a bit-identical Result.
+func TestConcurrentRunsShareProgram(t *testing.T) {
+	wp := compileSource(t, testprogs.Heavy[1].Src) // sort_64
+	const runs = 8
+	results := make([]Result, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := DefaultConfig(2, 2)
+			results[i], errs[i] = Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("run %d diverged:\n%+v\nwant\n%+v", i, results[i], results[0])
+		}
+	}
+	// Mixed configurations sharing the program must also be race-free.
+	var wg2 sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			cfg := DefaultConfig(1+i%2, 1+i%2)
+			cfg.MemMode = MemoryMode(i % 3)
+			if _, err := Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg); err != nil {
+				t.Errorf("mixed run %d: %v", i, err)
+			}
+		}()
+	}
+	wg2.Wait()
 }
 
 func BenchmarkWaveCacheSort(b *testing.B) {
