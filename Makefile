@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench fuzz
 
 ci: vet build test race
 
@@ -19,7 +19,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/harness ./internal/wavecache ./internal/ooo
+	$(GO) test -race ./internal/parallel ./internal/harness ./internal/wavecache ./internal/ooo ./internal/fault ./internal/noc ./internal/waveorder
+
+# fuzz runs the native fuzz targets for a short burst — a smoke pass, not
+# a soak; crashes land in testdata/fuzz/ as usual.
+FUZZTIME ?= 10s
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/asm
 
 # bench regenerates the reduced-configuration experiment benchmarks,
 # including the harness worker-pool wall-clock comparison

@@ -19,6 +19,8 @@ import (
 func main() {
 	isAsm := flag.Bool("asm", false, "input is WaveScalar assembly, not wsl source")
 	unroll := flag.Int("unroll", 4, "loop unrolling factor for wsl input")
+	maxCycles := flag.Int64("max-cycles", 0,
+		"abort after this many interpreter steps with a diagnostic dump (0 = default budget)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: waverun [flags] file.wsl|file.wsa\n")
 		flag.PrintDefaults()
@@ -43,7 +45,7 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := prog.Interpret()
+	res, err := prog.InterpretWithFuel(*maxCycles)
 	if err != nil {
 		fatal(err)
 	}

@@ -5,6 +5,7 @@
 //
 //	wavesim [-grid 4x4] [-placement dynamic-depth-first-snake]
 //	        [-memmode wave-ordered] [-density 16] [-queue 64]
+//	        [-faults defect=0.05,drop=0.01] [-fault-seed 1] [-max-cycles N]
 //	        [-baseline] file.wsl
 package main
 
@@ -26,6 +27,11 @@ func main() {
 	queue := flag.Int("queue", 64, "PE matching-table capacity")
 	unroll := flag.Int("unroll", 4, "loop unrolling factor")
 	baseline := flag.Bool("baseline", false, "also run the superscalar baseline and report speedup")
+	faults := flag.String("faults", "",
+		"fault injection spec: defect=R,drop=R,delay=R,memloss=R,kill=PE@CYCLE,retries=N,timeout=C,delaycycles=C")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for deterministic fault injection")
+	maxCycles := flag.Int64("max-cycles", 0,
+		"watchdog bound on simulated cycles; exceeding it aborts with a diagnostic dump (0 = unbounded)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wavesim [flags] file.wsl\n")
 		flag.PrintDefaults()
@@ -53,6 +59,9 @@ func main() {
 		Density:    *density,
 		InputQueue: *queue,
 		MemoryMode: *memmode,
+		MaxCycles:  *maxCycles,
+		Faults:     *faults,
+		FaultSeed:  *faultSeed,
 	})
 	if err != nil {
 		fatal(err)
@@ -67,6 +76,12 @@ func main() {
 	fmt.Printf("memory operations:  %d (L1 miss rate %.4f, coherence moves %d)\n",
 		res.MemoryOps, res.L1MissRate, res.CoherenceMoves)
 	fmt.Printf("network messages:   %d\n", res.NetworkMessages)
+	if *faults != "" {
+		fmt.Printf("fault injection:    %d defective PEs, %d mid-run kills (%d instructions migrated)\n",
+			res.DefectivePEs, res.PEKills, res.MigratedInstrs)
+		fmt.Printf("fault recovery:     %d drops, %d retransmits, %d delayed, %d cycles in ack timeouts\n",
+			res.MessageDrops, res.MessageRetries, res.DelayedMessages, res.RetryWaitCycles)
+	}
 
 	if *baseline {
 		base, err := prog.SimulateBaseline(wavescalar.DefaultBaselineConfig())

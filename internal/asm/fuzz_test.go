@@ -1,0 +1,133 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wavescalar/internal/cfgir"
+	"wavescalar/internal/isa"
+	"wavescalar/internal/lang"
+	"wavescalar/internal/testprogs"
+	"wavescalar/internal/wavec"
+)
+
+// compile builds a wsl source through the dataflow backend; unlike
+// compileSource it works for both *testing.T and *testing.F callers.
+func compile(src string) (*isa.Program, error) {
+	f, err := lang.ParseAndCheck(src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := cfgir.Build(f)
+	if err != nil {
+		return nil, err
+	}
+	for _, fn := range p.Funcs {
+		fn.Compact()
+	}
+	p.Optimize()
+	return wavec.Compile(p, wavec.Options{})
+}
+
+// fuzzSeeds is the corpus the fuzzers start from: every testprogs binary
+// printed to canonical assembly, plus hand-written fragments covering the
+// grammar's directives and common malformations.
+func fuzzSeeds(t interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}) []string {
+	seeds := []string{
+		"",
+		"memwords 8\nfunc main entry numwaves=1\n  params i0\n  i0: return wave=0\n",
+		"memwords 8\nglobal g 0 8 init 5\nfunc main entry numwaves=1\n  params i0\n  i0: const imm=1 wave=0 D[i1.0]\n  i1: return wave=0\n",
+		"func f\n  i0: add wave=0 D[i0.0]\n",
+		"memwords\nglobal\nfunc\nparams\n",
+		"i0: load mem=0.?.$ wave=0",
+		"# comment only\n",
+		"func main entry numwaves=0\n  params\n",
+		"memwords 99999999999999999999\n",
+		"func main entry numwaves=1\n  params i9999\n  i0: steer wave=0 D[i1.0] F[i2.0]\n",
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		src := testprogs.Generate(seed)
+		wp, err := compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seeds = append(seeds, Print(wp))
+	}
+	return seeds
+}
+
+// FuzzParse is the native fuzz target: the assembly parser must reject or
+// accept arbitrary input, never panic, and anything it accepts must
+// round-trip through the printer without crashing.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return // rejecting malformed input is the correct outcome
+		}
+		// Accepted programs must be printable and re-parseable.
+		if _, err := Parse(Print(p)); err != nil {
+			t.Fatalf("accepted program does not re-parse: %v\ninput:\n%s", err, text)
+		}
+	})
+}
+
+// TestParseNeverPanics is the deterministic slice of the fuzz surface that
+// runs on every `go test`: seeded random mutations (truncation, byte
+// splices, token shuffles) of valid assembly, mirroring the style of the
+// interp/testprogs differential fuzzers. The parser must return (program,
+// nil) or (nil, error) for every mutant — a panic fails the test.
+func TestParseNeverPanics(t *testing.T) {
+	seeds := fuzzSeeds(t)
+	rng := rand.New(rand.NewSource(1))
+	mutants := 0
+	for _, base := range seeds {
+		for i := 0; i < 200; i++ {
+			mutants++
+			b := []byte(base)
+			switch rng.Intn(4) {
+			case 0: // truncate
+				if len(b) > 0 {
+					b = b[:rng.Intn(len(b))]
+				}
+			case 1: // splice random bytes
+				for k := 0; k < 1+rng.Intn(8); k++ {
+					pos := rng.Intn(len(b) + 1)
+					b = append(b[:pos], append([]byte{byte(rng.Intn(256))}, b[pos:]...)...)
+				}
+			case 2: // duplicate a random line
+				lines := strings.Split(string(b), "\n")
+				if len(lines) > 1 {
+					l := rng.Intn(len(lines))
+					lines = append(lines[:l], append([]string{lines[l]}, lines[l:]...)...)
+					b = []byte(strings.Join(lines, "\n"))
+				}
+			case 3: // shuffle whitespace-separated tokens of one line
+				lines := strings.Split(string(b), "\n")
+				if len(lines) > 0 {
+					l := rng.Intn(len(lines))
+					toks := strings.Fields(lines[l])
+					rng.Shuffle(len(toks), func(i, j int) { toks[i], toks[j] = toks[j], toks[i] })
+					lines[l] = strings.Join(toks, " ")
+					b = []byte(strings.Join(lines, "\n"))
+				}
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("parser panicked on mutant: %v\n%s", r, b)
+					}
+				}()
+				_, _ = Parse(string(b))
+			}()
+		}
+	}
+	t.Logf("parsed %d mutants without panics", mutants)
+}

@@ -18,11 +18,19 @@ func TestSimulationDeterminism(t *testing.T) {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {
 			cfg := m.WaveConfig()
-			w1, err := wavecache.Run(c.Wave, m.NewPolicy(c.Wave), cfg)
+			p1, err := m.NewPolicy(c.Wave)
 			if err != nil {
 				t.Fatal(err)
 			}
-			w2, err := wavecache.Run(c.Wave, m.NewPolicy(c.Wave), cfg)
+			w1, err := wavecache.Run(c.Wave, p1, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := m.NewPolicy(c.Wave)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2, err := wavecache.Run(c.Wave, p2, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -52,7 +60,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		t.Skip("experiment sweep is slow")
 	}
 	set := quickSet(t)
-	for _, id := range []string{"E1", "E1b", "E4", "E8", "M1"} {
+	for _, id := range []string{"E1", "E1b", "E4", "E8", "M1", "E12"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			e := ExperimentByID(id)

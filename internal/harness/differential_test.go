@@ -48,7 +48,11 @@ func TestDifferentialChecksums(t *testing.T) {
 		return func(c *Compiled) (int64, error) {
 			cfg := m.WaveConfig()
 			cfg.MemMode = mode
-			res, err := wavecache.Run(c.Wave, m.NewPolicy(c.Wave), cfg)
+			pol, err := m.NewPolicy(c.Wave)
+			if err != nil {
+				return 0, err
+			}
+			res, err := wavecache.Run(c.Wave, pol, cfg)
 			return res.Value, err
 		}
 	}

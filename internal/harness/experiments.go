@@ -108,7 +108,7 @@ func runE1(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 		})
 		cells.add(func() error {
 			var err error
-			rows[i].wres, err = RunWave(c, c.Wave, m.NewPolicy(c.Wave), m.WaveConfig())
+			rows[i].wres, err = runWaveWith(c, c.Wave, m, m.WaveConfig())
 			return err
 		})
 		cells.add(func() error {
@@ -198,7 +198,7 @@ func runE3(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 			cells.add(func() error {
 				opt := m
 				opt.GridW, opt.GridH = g[0], g[1]
-				res, err := RunWave(c, c.Wave, opt.NewPolicy(c.Wave), opt.WaveConfig())
+				res, err := runWaveWith(c, c.Wave, opt, opt.WaveConfig())
 				if err != nil {
 					return err
 				}
@@ -232,7 +232,7 @@ func runE4(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 			cells.add(func() error {
 				cfg := m.WaveConfig()
 				cfg.MemMode = mode
-				res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+				res, err := runWaveWith(c, c.Wave, m, cfg)
 				if err != nil {
 					return err
 				}
@@ -279,7 +279,7 @@ func runE5(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 				cfg.Net.IntraCluster *= s
 				cfg.Net.InterClusterBase *= s
 				cfg.Net.LinkLatency *= s
-				res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+				res, err := runWaveWith(c, c.Wave, m, cfg)
 				if err != nil {
 					return err
 				}
@@ -321,7 +321,7 @@ func runE6(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 			cells.add(func() error {
 				cfg := m.WaveConfig()
 				cfg.InputQueue = q
-				res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+				res, err := runWaveWith(c, c.Wave, m, cfg)
 				if err != nil {
 					return err
 				}
@@ -365,7 +365,7 @@ func runE7(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 			cells.add(func() error {
 				cfg := m.WaveConfig()
 				cfg.Mem.L1.SizeWords = s
-				res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+				res, err := runWaveWith(c, c.Wave, m, cfg)
 				if err != nil {
 					return err
 				}
@@ -454,12 +454,12 @@ func runE9(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 	for i, c := range set {
 		cells.add(func() error {
 			var err error
-			rows[i].rs, err = RunWave(c, c.Wave, m.NewPolicy(c.Wave), m.WaveConfig())
+			rows[i].rs, err = runWaveWith(c, c.Wave, m, m.WaveConfig())
 			return err
 		})
 		cells.add(func() error {
 			var err error
-			rows[i].rsel, err = RunWave(c, c.WaveSel, m.NewPolicy(c.WaveSel), m.WaveConfig())
+			rows[i].rsel, err = runWaveWith(c, c.WaveSel, m, m.WaveConfig())
 			return err
 		})
 	}
@@ -493,7 +493,7 @@ func runE10(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 				cfg.PEStore = 8
 				cfg.Machine.Capacity = 8
 				cfg.SwapPenalty = cost
-				res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), cfg)
+				res, err := runWaveWith(c, c.Wave, m, cfg)
 				if err != nil {
 					return err
 				}
@@ -528,12 +528,16 @@ func runE11(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 	for i, c := range set {
 		cells.add(func() error {
 			var err error
-			rows[i].wr, err = wavecache.Run(c.WaveNoUn, m.NewPolicy(c.WaveNoUn), m.WaveConfig())
+			pol, err := m.NewPolicy(c.WaveNoUn)
+			if err != nil {
+				return err
+			}
+			rows[i].wr, err = wavecache.Run(c.WaveNoUn, pol, m.WaveConfig())
 			return err
 		})
 		cells.add(func() error {
 			var err error
-			rows[i].wu, err = RunWave(c, c.Wave, m.NewPolicy(c.Wave), m.WaveConfig())
+			rows[i].wu, err = runWaveWith(c, c.Wave, m, m.WaveConfig())
 			return err
 		})
 		cells.add(func() error {

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+
+	"wavescalar/internal/fault"
+	"wavescalar/internal/placement"
+	"wavescalar/internal/stats"
+	"wavescalar/internal/wavecache"
+)
+
+func init() {
+	Experiments = append(Experiments, Experiment{
+		ID:    "E12",
+		Title: "Fault injection: IPC degradation vs. defect and loss rates",
+		Claim: "a tiled dataflow machine degrades gracefully under faults: placement routes around dead PEs and ack/retransmit recovers lost messages, so performance falls smoothly with fault rate while results stay correct",
+		Run:   runE12,
+	})
+}
+
+// e12Seed drives every E12 fault decision; one fixed seed keeps the tables
+// reproducible bit-for-bit at any worker count.
+const e12Seed = 7
+
+// e12Scenarios is the fault sweep: configuration-time defects, operand
+// message loss, store-buffer message loss, and everything at once. Every
+// scenario is recoverable: each run must still produce its workload's
+// checksum (RunWave enforces it), the differential invariant of the
+// experiment.
+var e12Scenarios = []struct {
+	name string
+	cfg  fault.Config
+}{
+	{"fault-free", fault.Config{}},
+	{"defect-5%", fault.Config{Seed: e12Seed, DefectRate: 0.05}},
+	{"defect-25%", fault.Config{Seed: e12Seed, DefectRate: 0.25}},
+	{"drop-1%", fault.Config{Seed: e12Seed, DropRate: 0.01}},
+	{"drop-10%", fault.Config{Seed: e12Seed, DropRate: 0.10}},
+	{"memloss-1%", fault.Config{Seed: e12Seed, MemLossRate: 0.01}},
+	{"combined", fault.Config{Seed: e12Seed, DefectRate: 0.10, DropRate: 0.02, DelayRate: 0.02, MemLossRate: 0.01}},
+}
+
+func runE12(set []*Compiled, m MachineOptions) (*stats.Table, error) {
+	t := stats.NewTable("E12: AIPC under injected faults (checksums verified on every cell)",
+		"bench", "scenario", "dead-pes", "aipc", "rel", "drops", "retries", "mem-retries", "retry-wait")
+	results := make([]wavecache.Result, len(set)*len(e12Scenarios))
+	cells := newCellSet(m)
+	for bi, c := range set {
+		for si, sc := range e12Scenarios {
+			slot := bi*len(e12Scenarios) + si
+			cells.add(func() error {
+				cfg := m.WaveConfig()
+				cfg.Faults = sc.cfg
+				// Watchdog backstop: a faulty run must terminate, never hang.
+				cfg.MaxCycles = 50_000_000
+				// Placement and simulator derive the same defect map from
+				// (seed, rate); the policy never assigns a dead PE.
+				cfg.Machine.Defective = fault.DefectMap(sc.cfg, cfg.Machine.NumPEs())
+				pol, err := placement.New(m.Policy, cfg.Machine, c.Wave, 12345)
+				if err != nil {
+					return err
+				}
+				res, err := RunWave(c, c.Wave, pol, cfg)
+				if err != nil {
+					return fmt.Errorf("E12 %s/%s: %w", c.Name, sc.name, err)
+				}
+				results[slot] = res
+				return nil
+			})
+		}
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
+	for bi, c := range set {
+		base := AIPC(c.UsefulInstrs, results[bi*len(e12Scenarios)].Cycles)
+		for si, sc := range e12Scenarios {
+			r := &results[bi*len(e12Scenarios)+si]
+			aipc := AIPC(c.UsefulInstrs, r.Cycles)
+			rel := 0.0
+			if base > 0 {
+				rel = aipc / base
+			}
+			t.AddRow(c.Name, sc.name, r.Faults.DefectivePEs, aipc, rel,
+				r.Net.Drops, r.Net.Retries, r.Faults.MemRetries, r.Net.RetryWaitCycles+r.Faults.MemRetryWait)
+		}
+	}
+	t.Note = fmt.Sprintf("fault seed %d; rel = AIPC / fault-free AIPC; every cell re-verified its workload checksum against the linear emulator", e12Seed)
+	return t, nil
+}

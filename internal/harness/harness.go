@@ -198,12 +198,24 @@ func (m MachineOptions) WaveConfig() wavecache.Config {
 }
 
 // NewPolicy instantiates the configured placement policy for a program.
-func (m MachineOptions) NewPolicy(p *isa.Program) placement.Policy {
+// An unknown policy name or an unusable machine is reported as an error
+// (surfaced through the experiment and CLI exit paths), not a panic.
+func (m MachineOptions) NewPolicy(p *isa.Program) (placement.Policy, error) {
 	pol, err := placement.New(m.Policy, m.WaveConfig().Machine, p, 12345)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("harness: policy %q: %w", m.Policy, err)
 	}
-	return pol
+	return pol, nil
+}
+
+// runWaveWith builds m's placement policy for prog and runs RunWave; the
+// shorthand most experiment cells use.
+func runWaveWith(c *Compiled, prog *isa.Program, m MachineOptions, cfg wavecache.Config) (wavecache.Result, error) {
+	pol, err := m.NewPolicy(prog)
+	if err != nil {
+		return wavecache.Result{}, err
+	}
+	return RunWave(c, prog, pol, cfg)
 }
 
 // RunWave simulates a dataflow binary and checks its checksum.

@@ -120,8 +120,16 @@ func TestAIPC(t *testing.T) {
 func TestMachineOptionsPolicy(t *testing.T) {
 	set := quickSet(t)
 	m := DefaultMachineOptions()
-	pol := m.NewPolicy(set[0].Wave)
+	pol, err := m.NewPolicy(set[0].Wave)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pol.Name() != m.Policy {
 		t.Errorf("policy %q != %q", pol.Name(), m.Policy)
+	}
+	bad := m
+	bad.Policy = "no-such-policy"
+	if _, err := bad.NewPolicy(set[0].Wave); err == nil {
+		t.Error("unknown policy name should be an error, not a panic")
 	}
 }

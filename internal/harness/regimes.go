@@ -65,7 +65,7 @@ func runE1b(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 			cells.add(func() error {
 				wcfg := m.WaveConfig()
 				r.apply(&wcfg.Mem)
-				res, err := RunWave(c, c.Wave, m.NewPolicy(c.Wave), wcfg)
+				res, err := runWaveWith(c, c.Wave, m, wcfg)
 				if err != nil {
 					return err
 				}

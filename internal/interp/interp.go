@@ -12,6 +12,7 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 
 	"wavescalar/internal/isa"
@@ -150,6 +151,12 @@ func (m *Machine) Run() (int64, error) {
 		}
 		t := m.queue.pop()
 		if err := m.deliver(t); err != nil {
+			if errors.Is(err, ErrFuel) {
+				// A runaway (or deadlocked-in-a-cycle) program: report the
+				// stuck state like the simulators' watchdog does.
+				return 0, fmt.Errorf("%w after %d fired instructions, %d tokens in flight\n%s",
+					ErrFuel, m.stats.Fired, m.queue.len(), m.engine.DebugState())
+			}
 			return 0, err
 		}
 	}
@@ -253,19 +260,23 @@ func (m *Machine) fire(fn isa.FuncID, id isa.InstrID, in *isa.Instruction, tag i
 		if m.profile != nil {
 			m.profile.AddMemAccess(profile.InstrRef{Func: fn, Instr: id}, vals[0])
 		}
-		m.submitMem(fn, id, in, tag, vals[0], 0)
+		return m.submitMem(fn, id, in, tag, vals[0], 0)
 	case in.Op == isa.OpStore:
 		m.stats.Stores++
 		if m.profile != nil {
 			m.profile.AddMemAccess(profile.InstrRef{Func: fn, Instr: id}, vals[0])
 		}
-		m.submitMem(fn, id, in, tag, vals[0], vals[1])
+		if err := m.submitMem(fn, id, in, tag, vals[0], vals[1]); err != nil {
+			return err
+		}
 		// The stored value forwards immediately; ordering is the store
 		// buffer's concern, not the dataflow graph's.
 		m.send(fn, id, in.Dests, tag, vals[1])
 	case in.Op == isa.OpMemNop:
 		// Pure ordering message; the trigger forwards immediately.
-		m.submitMem(fn, id, in, tag, 0, 0)
+		if err := m.submitMem(fn, id, in, tag, 0, 0); err != nil {
+			return err
+		}
 		m.send(fn, id, in.Dests, tag, vals[0])
 	case in.Op == isa.OpNewCtx:
 		m.stats.Calls++
@@ -276,11 +287,13 @@ func (m *Machine) fire(fn isa.FuncID, id isa.InstrID, in *isa.Instruction, tag i
 			m.stats.MaxContexts = len(m.ctxMeta)
 		}
 		if in.Mem.Kind == isa.MemCall {
-			m.engine.Submit(&waveorder.Request{
+			if err := m.engine.Submit(&waveorder.Request{
 				Ctx: tag.Ctx, Wave: tag.Wave,
 				Kind: isa.MemCall, Seq: in.Mem.Seq, Pred: in.Mem.Pred, Succ: in.Mem.Succ,
 				ChildCtx: ctx,
-			})
+			}); err != nil {
+				return err
+			}
 		}
 		m.send(fn, id, in.Dests, tag, int64(ctx))
 	case in.Op == isa.OpSendArg:
@@ -301,10 +314,12 @@ func (m *Machine) fire(fn isa.FuncID, id isa.InstrID, in *isa.Instruction, tag i
 		}
 		delete(m.ctxMeta, tag.Ctx)
 		if in.Mem.Kind == isa.MemEnd {
-			m.engine.Submit(&waveorder.Request{
+			if err := m.engine.Submit(&waveorder.Request{
 				Ctx: tag.Ctx, Wave: tag.Wave,
 				Kind: isa.MemEnd, Seq: in.Mem.Seq, Pred: in.Mem.Pred, Succ: in.Mem.Succ,
-			})
+			}); err != nil {
+				return err
+			}
 		}
 		if meta.retPad == isa.NoInstr {
 			m.done = true
@@ -332,8 +347,8 @@ type memCookie struct {
 	tag isa.Tag
 }
 
-func (m *Machine) submitMem(fn isa.FuncID, id isa.InstrID, in *isa.Instruction, tag isa.Tag, addr, val int64) {
-	m.engine.Submit(&waveorder.Request{
+func (m *Machine) submitMem(fn isa.FuncID, id isa.InstrID, in *isa.Instruction, tag isa.Tag, addr, val int64) error {
+	return m.engine.Submit(&waveorder.Request{
 		Ctx: tag.Ctx, Wave: tag.Wave,
 		Kind: in.Mem.Kind, Seq: in.Mem.Seq, Pred: in.Mem.Pred, Succ: in.Mem.Succ,
 		Addr: addr, Value: val,

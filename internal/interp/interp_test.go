@@ -1,6 +1,8 @@
 package interp
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"wavescalar/internal/cfgir"
@@ -196,8 +198,13 @@ func TestProfileCollection(t *testing.T) {
 
 func TestFuelExhaustion(t *testing.T) {
 	wp := compileOne(t, `func main() { var i = 0; while i < 1000000 { i = i + 1; } return i; }`)
-	if _, err := New(wp, 100).Run(); err != ErrFuel {
+	_, err := New(wp, 100).Run()
+	if !errors.Is(err, ErrFuel) {
 		t.Fatalf("got %v, want ErrFuel", err)
+	}
+	// The wrapped error carries the diagnostic dump for -max-cycles users.
+	if !strings.Contains(err.Error(), "tokens in flight") {
+		t.Errorf("fuel error lacks diagnostic context: %v", err)
 	}
 }
 

@@ -1,0 +1,111 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+)
+
+// scriptedFaults is a FaultModel that replays a fixed sequence of
+// (drop, delay) outcomes, so tests control exactly which attempts fail.
+type scriptedFaults struct {
+	script  []struct{ drop, delay int64 } // drop != 0 means dropped
+	pos     int
+	retries int
+	timeout int64
+}
+
+func (s *scriptedFaults) TokenFault() (bool, int64) {
+	if s.pos >= len(s.script) {
+		return false, 0
+	}
+	o := s.script[s.pos]
+	s.pos++
+	return o.drop != 0, o.delay
+}
+
+func (s *scriptedFaults) MaxRetries() int           { return s.retries }
+func (s *scriptedFaults) Timeout(attempt int) int64 { return s.timeout << attempt }
+
+// TestSendReliableNilModelIsSend: without an attached model, SendReliable
+// must be byte-for-byte Send — the invariant keeping fault-free runs
+// identical to the pre-fault simulator.
+func TestSendReliableNilModelIsSend(t *testing.T) {
+	a, _ := New(DefaultConfig(4, 4))
+	b, _ := New(DefaultConfig(4, 4))
+	src, dst := Loc{Cluster: 0}, Loc{Cluster: 13}
+	for now := int64(0); now < 50; now += 3 {
+		got, err := a.SendReliable(src, dst, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := b.Send(src, dst, now); got != want {
+			t.Fatalf("now=%d: SendReliable %d != Send %d", now, got, want)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestSendReliableRetryTiming: two drops cost two ack timeouts before the
+// delivered attempt is charged to the mesh at its retransmit time.
+func TestSendReliableRetryTiming(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	cfg.LinkBandwidth = 0 // unlimited, so Send is time-invariant latency
+	n, _ := New(cfg)
+	fm := &scriptedFaults{retries: 8, timeout: 10}
+	fm.script = []struct{ drop, delay int64 }{{1, 0}, {1, 0}, {0, 0}}
+	n.AttachFaults(fm)
+	src, dst := Loc{Cluster: 0}, Loc{Cluster: 3}
+	lat := n.Latency(src, dst)
+	arr, err := n.SendReliable(src, dst, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timeouts: attempt 0 -> 10, attempt 1 -> 20; delivered send at 130.
+	if want := 130 + lat; arr != want {
+		t.Fatalf("arrival %d, want %d (latency %d after 30 cycles of timeouts)", arr, want, lat)
+	}
+	st := n.Stats()
+	if st.Drops != 2 || st.Retries != 2 || st.RetryWaitCycles != 30 {
+		t.Fatalf("stats %+v, want 2 drops, 2 retries, 30 wait cycles", st)
+	}
+}
+
+// TestSendReliableTransientDelay: a delivered-but-delayed message arrives
+// late by exactly the drawn delay and is counted.
+func TestSendReliableTransientDelay(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	cfg.LinkBandwidth = 0
+	n, _ := New(cfg)
+	fm := &scriptedFaults{retries: 8, timeout: 10}
+	fm.script = []struct{ drop, delay int64 }{{0, 7}}
+	n.AttachFaults(fm)
+	src, dst := Loc{Cluster: 0}, Loc{Cluster: 3}
+	arr, err := n.SendReliable(src, dst, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 100 + n.Latency(src, dst) + 7; arr != want {
+		t.Fatalf("arrival %d, want %d", arr, want)
+	}
+	if st := n.Stats(); st.Delayed != 1 || st.Drops != 0 {
+		t.Fatalf("stats %+v, want 1 delayed, 0 drops", st)
+	}
+}
+
+// TestSendReliableExhaustion: a message dropped past the retry budget
+// returns an error naming the loss, never spins.
+func TestSendReliableExhaustion(t *testing.T) {
+	n, _ := New(DefaultConfig(4, 4))
+	fm := &scriptedFaults{retries: 3, timeout: 1}
+	fm.script = []struct{ drop, delay int64 }{{1, 0}, {1, 0}, {1, 0}, {1, 0}, {1, 0}}
+	n.AttachFaults(fm)
+	_, err := n.SendReliable(Loc{Cluster: 0}, Loc{Cluster: 1}, 5)
+	if err == nil {
+		t.Fatal("exhausted retries must error")
+	}
+	if !strings.Contains(err.Error(), "lost after") {
+		t.Fatalf("error should describe the loss: %v", err)
+	}
+}

@@ -53,6 +53,29 @@ type Stats struct {
 	MeshHops   uint64
 	// StallCycles accumulates cycles messages waited for link bandwidth.
 	StallCycles uint64
+
+	// Transient-fault recovery (all zero without an attached FaultModel).
+	// Drops counts lost message attempts, Retries successful retransmits,
+	// Delayed transiently delayed deliveries; RetryWaitCycles accumulates
+	// sender ack-timeout cycles paid before retransmits.
+	Drops           uint64
+	Retries         uint64
+	Delayed         uint64
+	RetryWaitCycles uint64
+}
+
+// FaultModel injects transient faults into message delivery and supplies
+// the ack/retransmit protocol parameters. internal/fault.Injector implements
+// it; the interface lives here so noc stays free of the fault package.
+type FaultModel interface {
+	// TokenFault draws the outcome of one message attempt: dropped, and
+	// any extra transient delay on a delivered message.
+	TokenFault() (drop bool, delay int64)
+	// MaxRetries bounds retransmit attempts per message.
+	MaxRetries() int
+	// Timeout is the sender's ack timeout before retransmit attempt
+	// number attempt (0-based).
+	Timeout(attempt int) int64
 }
 
 // linkState is a FIFO link queue: the latest cycle that granted bandwidth
@@ -64,10 +87,15 @@ type linkState struct {
 
 // Network computes operand delivery times and accounts link contention.
 type Network struct {
-	cfg   Config
-	links map[int32]*linkState // keyed by (router, direction)
-	stats Stats
+	cfg    Config
+	links  map[int32]*linkState // keyed by (router, direction)
+	stats  Stats
+	faults FaultModel // nil = perfect network
 }
+
+// AttachFaults installs a transient-fault model consulted by SendReliable.
+// Pass nil to restore the perfect network.
+func (n *Network) AttachFaults(fm FaultModel) { n.faults = fm }
 
 // New builds a network.
 func New(cfg Config) (*Network, error) {
@@ -146,6 +174,39 @@ func (n *Network) Send(src, dst Loc, now int64) int64 {
 		cur = next
 	}
 	return t
+}
+
+// SendReliable is Send under the attached fault model: each attempt may be
+// dropped (the sender times out waiting for the acknowledgement and
+// retransmits with exponential backoff) or transiently delayed. Without an
+// attached model it is exactly Send. When the retry budget is exhausted it
+// returns an error — the caller surfaces it as a structured fault — and the
+// message is counted dropped. Link bandwidth is charged only for the
+// delivered attempt: a dropped message is modeled as corrupted in transit,
+// and its bandwidth footprint is folded into the timeout it costs.
+func (n *Network) SendReliable(src, dst Loc, now int64) (int64, error) {
+	if n.faults == nil {
+		return n.Send(src, dst, now), nil
+	}
+	send := now
+	for attempt := 0; ; attempt++ {
+		drop, delay := n.faults.TokenFault()
+		if !drop {
+			if delay > 0 {
+				n.stats.Delayed++
+			}
+			return n.Send(src, dst, send) + delay, nil
+		}
+		n.stats.Drops++
+		if attempt >= n.faults.MaxRetries() {
+			return 0, fmt.Errorf("noc: message %v -> %v injected at cycle %d lost after %d attempts",
+				src, dst, now, attempt+1)
+		}
+		wait := n.faults.Timeout(attempt)
+		n.stats.Retries++
+		n.stats.RetryWaitCycles += uint64(wait)
+		send += wait
+	}
 }
 
 // nextDimOrder steps one cluster toward dst, X first.

@@ -1,0 +1,174 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+
+	"wavescalar/internal/isa"
+	"wavescalar/internal/profile"
+)
+
+// defectMachine returns a small machine with the given PEs marked defective.
+func defectMachine(w, h int, dead ...int) Machine {
+	m := DefaultMachine(w, h)
+	m.Defective = make([]bool, m.NumPEs())
+	for _, pe := range dead {
+		m.Defective[pe] = true
+	}
+	return m
+}
+
+func allRefs(wp *isa.Program) []profile.InstrRef {
+	var refs []profile.InstrRef
+	for fi := range wp.Funcs {
+		for ii := range wp.Funcs[fi].Instrs {
+			refs = append(refs, profile.InstrRef{Func: isa.FuncID(fi), Instr: isa.InstrID(ii)})
+		}
+	}
+	return refs
+}
+
+// TestDefectivePENeverAssigned: no policy may home an instruction on a PE
+// the defect map marks dead, even under capacity pressure that forces
+// wrap-around scans.
+func TestDefectivePENeverAssigned(t *testing.T) {
+	wp := testProgram(t)
+	m := defectMachine(2, 2, 0, 3, 7, 31, 64, 127)
+	m.Capacity = 2 // force heavy wrap-around
+	for _, name := range Names() {
+		pol, err := New(name, m, wp, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ref := range allRefs(wp) {
+			pe := pol.Assign(ref)
+			if pe < 0 || pe >= m.NumPEs() {
+				t.Fatalf("%s: PE %d out of range", name, pe)
+			}
+			if m.Defective[pe] {
+				t.Fatalf("%s: assigned %v to defective PE %d", name, ref, pe)
+			}
+		}
+	}
+}
+
+// TestMarkDefectiveEvicts: after a mid-run MarkDefective every policy must
+// re-home the evicted instructions on live PEs, deterministically.
+func TestMarkDefectiveEvicts(t *testing.T) {
+	wp := testProgram(t)
+	refs := allRefs(wp)
+	for _, name := range Names() {
+		m := DefaultMachine(2, 2)
+		pol, err := New(name, m, wp, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := make(map[profile.InstrRef]int)
+		victims := map[int]bool{}
+		for _, ref := range refs {
+			before[ref] = pol.Assign(ref)
+			victims[before[ref]] = true
+		}
+		rc, ok := pol.(Reconfigurable)
+		if !ok {
+			t.Fatalf("%s does not implement Reconfigurable", name)
+		}
+		// Kill one PE that actually holds instructions.
+		var dead int
+		for pe := range victims {
+			dead = pe
+			break
+		}
+		if err := rc.MarkDefective(dead); err != nil {
+			t.Fatalf("%s: MarkDefective(%d): %v", name, dead, err)
+		}
+		for _, ref := range refs {
+			pe := pol.Assign(ref)
+			if pe == dead {
+				t.Fatalf("%s: %v still homed on killed PE %d", name, ref, dead)
+			}
+			if before[ref] != dead && pe != before[ref] {
+				t.Errorf("%s: %v moved %d -> %d though its PE survived", name, ref, before[ref], pe)
+			}
+		}
+	}
+}
+
+// TestMarkDefectiveLastPE: killing the only remaining usable PE must be
+// refused with an error — the machine cannot run with zero PEs.
+func TestMarkDefectiveLastPE(t *testing.T) {
+	wp := testProgram(t)
+	m := DefaultMachine(1, 1)
+	m.Defective = make([]bool, m.NumPEs())
+	for i := 1; i < m.NumPEs(); i++ {
+		m.Defective[i] = true
+	}
+	pol, err := New("dynamic-snake", m, wp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := pol.(Reconfigurable)
+	if err := rc.MarkDefective(0); err == nil {
+		t.Fatal("marking the last usable PE defective must fail")
+	}
+	if err := rc.MarkDefective(-1); err == nil {
+		t.Fatal("out-of-range PE must fail")
+	}
+	if err := rc.MarkDefective(m.NumPEs()); err == nil {
+		t.Fatal("out-of-range PE must fail")
+	}
+}
+
+// TestNewValidatesDefectMap: New must reject malformed defect maps with
+// descriptive errors rather than misbehave later.
+func TestNewValidatesDefectMap(t *testing.T) {
+	wp := testProgram(t)
+	m := DefaultMachine(1, 1)
+	m.Defective = make([]bool, 3) // wrong length
+	if _, err := New("dynamic-snake", m, wp, 1); err == nil ||
+		!strings.Contains(err.Error(), "defect map") {
+		t.Fatalf("wrong-length map: err = %v", err)
+	}
+	m.Defective = make([]bool, m.NumPEs())
+	for i := range m.Defective {
+		m.Defective[i] = true
+	}
+	if _, err := New("dynamic-snake", m, wp, 1); err == nil ||
+		!strings.Contains(err.Error(), "usable") {
+		t.Fatalf("all-defective map: err = %v", err)
+	}
+}
+
+// TestUsablePEs: the accounting helper placement and the simulator share.
+func TestUsablePEs(t *testing.T) {
+	m := DefaultMachine(1, 1)
+	if m.UsablePEs() != m.NumPEs() {
+		t.Fatalf("nil map: usable %d, want %d", m.UsablePEs(), m.NumPEs())
+	}
+	m = defectMachine(1, 1, 0, 1, 2)
+	if m.UsablePEs() != m.NumPEs()-3 {
+		t.Fatalf("usable %d, want %d", m.UsablePEs(), m.NumPEs()-3)
+	}
+}
+
+// TestDefectPlacementDeterministic: with a defect map installed, placement
+// remains a pure function of (policy, machine, program, seed).
+func TestDefectPlacementDeterministic(t *testing.T) {
+	wp := testProgram(t)
+	for _, name := range Names() {
+		m := defectMachine(2, 2, 2, 5, 11, 40)
+		a, err := New(name, m, wp, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(name, m, wp, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ref := range allRefs(wp) {
+			if a.Assign(ref) != b.Assign(ref) {
+				t.Fatalf("%s: assignment of %v not deterministic", name, ref)
+			}
+		}
+	}
+}

@@ -24,6 +24,25 @@ type Machine struct {
 	// Capacity is the number of instruction homes a policy packs per PE
 	// before moving on (normally the PE instruction-store size).
 	Capacity int
+
+	// Defective marks PEs dead at configuration time (manufacturing
+	// defects): policies treat them as non-placeable and route around
+	// them. nil means a fully working machine. fault.DefectMap derives a
+	// deterministic map from a fault seed; New validates that at least
+	// one PE remains usable. Policies copy this slice at construction, so
+	// callers may reuse the Machine value freely.
+	Defective []bool
+}
+
+// UsablePEs counts the PEs available for placement.
+func (m Machine) UsablePEs() int {
+	n := m.NumPEs()
+	for _, d := range m.Defective {
+		if d {
+			n--
+		}
+	}
+	return n
 }
 
 // DefaultMachine returns the published topology: 4 domains of 4 pods of 2
@@ -83,18 +102,86 @@ type Policy interface {
 	Assign(ref profile.InstrRef) int
 }
 
+// Reconfigurable policies support fault-aware re-placement: MarkDefective
+// withdraws a PE mid-run (a hard fault detected by the machine), evicting
+// its instruction homes, and the next Assign for an evicted instruction
+// migrates it to a live PE. Marking the last usable PE defective is refused
+// with an error — that machine cannot execute anything. All built-in
+// policies implement this interface.
+type Reconfigurable interface {
+	MarkDefective(pe int) error
+}
+
 // fill allocates PE slots along an arbitrary PE order, Capacity per PE,
-// wrapping when the machine is exhausted.
+// wrapping when the machine is exhausted and skipping defective PEs.
 type fill struct {
 	m     Machine
 	order func(i int) int
 	next  int
+	// defective is the policy's own defect map (config-time defects plus
+	// mid-run kills); policy-owned so Machine values stay shareable.
+	defective []bool
 }
 
+func newFill(m Machine, order func(i int) int) fill {
+	f := fill{m: m, order: order}
+	if m.Defective != nil {
+		f.defective = append([]bool(nil), m.Defective...)
+	}
+	return f
+}
+
+func (f *fill) dead(pe int) bool {
+	return f.defective != nil && pe < len(f.defective) && f.defective[pe]
+}
+
+// take allocates the next instruction home, skipping dead PEs by jumping to
+// the next PE boundary along the order. At least one usable PE is
+// guaranteed by New and markDefective, which bounds the scan.
 func (f *fill) take() int {
-	pe := f.order((f.next / f.m.Capacity) % f.m.NumPEs())
-	f.next++
-	return pe
+	n := f.m.NumPEs()
+	for skips := 0; skips <= n; skips++ {
+		pe := f.order((f.next / f.m.Capacity) % n)
+		if f.dead(pe) {
+			f.next = (f.next/f.m.Capacity + 1) * f.m.Capacity
+			continue
+		}
+		f.next++
+		return pe
+	}
+	panic("placement: internal invariant violated: no usable PE found")
+}
+
+func (f *fill) markDefective(pe int) error {
+	if pe < 0 || pe >= f.m.NumPEs() {
+		return fmt.Errorf("placement: PE %d out of range [0,%d)", pe, f.m.NumPEs())
+	}
+	if f.defective == nil {
+		f.defective = make([]bool, f.m.NumPEs())
+	}
+	if !f.defective[pe] {
+		usable := 0
+		for _, d := range f.defective {
+			if !d {
+				usable++
+			}
+		}
+		if usable <= 1 {
+			return fmt.Errorf("placement: cannot mark PE %d defective: no usable PEs would remain", pe)
+		}
+		f.defective[pe] = true
+	}
+	return nil
+}
+
+// evictHomes withdraws every instruction homed on a dead PE so the next
+// Assign re-places it.
+func evictHomes(homes map[profile.InstrRef]int, pe int) {
+	for ref, p := range homes {
+		if p == pe {
+			delete(homes, ref)
+		}
+	}
 }
 
 // --- dynamic-snake -----------------------------------------------------
@@ -110,8 +197,7 @@ type dynamicSnake struct {
 // NewDynamicSnake builds the policy.
 func NewDynamicSnake(m Machine) Policy {
 	ds := &dynamicSnake{homes: make(map[profile.InstrRef]int)}
-	ds.m = m
-	ds.order = m.SnakePE
+	ds.fill = newFill(m, m.SnakePE)
 	return ds
 }
 
@@ -126,21 +212,31 @@ func (d *dynamicSnake) Assign(ref profile.InstrRef) int {
 	return pe
 }
 
+func (d *dynamicSnake) MarkDefective(pe int) error {
+	if err := d.fill.markDefective(pe); err != nil {
+		return err
+	}
+	evictHomes(d.homes, pe)
+	return nil
+}
+
 // --- static-snake ------------------------------------------------------
 
 // staticSnake packs instructions along the snake in static program order,
-// whether or not they ever execute.
+// whether or not they ever execute. The fill is retained so instructions
+// evicted by a mid-run PE death can re-place.
 type staticSnake struct {
+	fill
 	homes map[profile.InstrRef]int
 }
 
 // NewStaticSnake precomputes the placement for a program.
 func NewStaticSnake(m Machine, p *isa.Program) Policy {
 	s := &staticSnake{homes: make(map[profile.InstrRef]int)}
-	f := fill{m: m, order: m.SnakePE}
+	s.fill = newFill(m, m.SnakePE)
 	for fi := range p.Funcs {
 		for ii := range p.Funcs[fi].Instrs {
-			s.homes[profile.InstrRef{Func: isa.FuncID(fi), Instr: isa.InstrID(ii)}] = f.take()
+			s.homes[profile.InstrRef{Func: isa.FuncID(fi), Instr: isa.InstrID(ii)}] = s.take()
 		}
 	}
 	return s
@@ -148,7 +244,22 @@ func NewStaticSnake(m Machine, p *isa.Program) Policy {
 
 func (s *staticSnake) Name() string { return "static-snake" }
 
-func (s *staticSnake) Assign(ref profile.InstrRef) int { return s.homes[ref] }
+func (s *staticSnake) Assign(ref profile.InstrRef) int {
+	if pe, ok := s.homes[ref]; ok {
+		return pe
+	}
+	pe := s.take() // home evicted by a PE death: migrate
+	s.homes[ref] = pe
+	return pe
+}
+
+func (s *staticSnake) MarkDefective(pe int) error {
+	if err := s.fill.markDefective(pe); err != nil {
+		return err
+	}
+	evictHomes(s.homes, pe)
+	return nil
+}
 
 // --- depth-first chains ------------------------------------------------
 
@@ -184,17 +295,18 @@ func dfsChains(f *isa.Function) [][]isa.InstrID {
 // depthFirstSnake places DFS chains contiguously along the snake in static
 // chain order: the best policy for operand latency in the SPAA 2006 study.
 type depthFirstSnake struct {
+	fill
 	homes map[profile.InstrRef]int
 }
 
 // NewDepthFirstSnake precomputes the placement.
 func NewDepthFirstSnake(m Machine, p *isa.Program) Policy {
 	s := &depthFirstSnake{homes: make(map[profile.InstrRef]int)}
-	f := fill{m: m, order: m.SnakePE}
+	s.fill = newFill(m, m.SnakePE)
 	for fi := range p.Funcs {
 		for _, chain := range dfsChains(&p.Funcs[fi]) {
 			for _, id := range chain {
-				s.homes[profile.InstrRef{Func: isa.FuncID(fi), Instr: id}] = f.take()
+				s.homes[profile.InstrRef{Func: isa.FuncID(fi), Instr: id}] = s.take()
 			}
 		}
 	}
@@ -203,7 +315,22 @@ func NewDepthFirstSnake(m Machine, p *isa.Program) Policy {
 
 func (s *depthFirstSnake) Name() string { return "depth-first-snake" }
 
-func (s *depthFirstSnake) Assign(ref profile.InstrRef) int { return s.homes[ref] }
+func (s *depthFirstSnake) Assign(ref profile.InstrRef) int {
+	if pe, ok := s.homes[ref]; ok {
+		return pe
+	}
+	pe := s.take() // home evicted by a PE death: migrate
+	s.homes[ref] = pe
+	return pe
+}
+
+func (s *depthFirstSnake) MarkDefective(pe int) error {
+	if err := s.fill.markDefective(pe); err != nil {
+		return err
+	}
+	evictHomes(s.homes, pe)
+	return nil
+}
 
 // --- dynamic-depth-first-snake ------------------------------------------
 
@@ -224,8 +351,7 @@ func NewDynamicDFS(m Machine, p *isa.Program) Policy {
 		homes:   make(map[profile.InstrRef]int),
 		chainOf: make(map[profile.InstrRef][]isa.InstrID),
 	}
-	d.m = m
-	d.order = m.SnakePE
+	d.fill = newFill(m, m.SnakePE)
 	for fi := range p.Funcs {
 		for _, chain := range dfsChains(&p.Funcs[fi]) {
 			for _, id := range chain {
@@ -253,30 +379,83 @@ func (d *dynamicDFS) Assign(ref profile.InstrRef) int {
 	return d.homes[ref]
 }
 
+func (d *dynamicDFS) MarkDefective(pe int) error {
+	if err := d.fill.markDefective(pe); err != nil {
+		return err
+	}
+	evictHomes(d.homes, pe)
+	return nil
+}
+
 // --- random ------------------------------------------------------------
 
-// randomPolicy scatters instructions uniformly over all PEs.
+// randomPolicy scatters instructions uniformly over the usable PEs.
 type randomPolicy struct {
-	m     Machine
-	state uint64
-	homes map[profile.InstrRef]int
+	m         Machine
+	state     uint64
+	homes     map[profile.InstrRef]int
+	defective []bool
+	usable    int
 }
 
 // NewRandom builds a seeded random placement.
 func NewRandom(m Machine, seed uint64) Policy {
-	return &randomPolicy{m: m, state: seed | 1, homes: make(map[profile.InstrRef]int)}
+	r := &randomPolicy{m: m, state: seed | 1, homes: make(map[profile.InstrRef]int),
+		usable: m.UsablePEs()}
+	if m.Defective != nil {
+		r.defective = append([]bool(nil), m.Defective...)
+	}
+	return r
 }
 
 func (r *randomPolicy) Name() string { return "random" }
+
+func (r *randomPolicy) dead(pe int) bool {
+	return r.defective != nil && pe < len(r.defective) && r.defective[pe]
+}
 
 func (r *randomPolicy) Assign(ref profile.InstrRef) int {
 	if pe, ok := r.homes[ref]; ok {
 		return pe
 	}
-	r.state = r.state*6364136223846793005 + 1442695040888963407
-	pe := int((r.state >> 33) % uint64(r.m.NumPEs()))
+	n := r.m.NumPEs()
+	pe := 0
+	// Rejection-sample a live PE; after a bounded number of draws fall
+	// back to a linear scan so a heavily defective machine still assigns
+	// in O(NumPEs) deterministically.
+	for draws := 0; ; draws++ {
+		r.state = r.state*6364136223846793005 + 1442695040888963407
+		pe = int((r.state >> 33) % uint64(n))
+		if !r.dead(pe) {
+			break
+		}
+		if draws >= 64 {
+			for r.dead(pe) {
+				pe = (pe + 1) % n
+			}
+			break
+		}
+	}
 	r.homes[ref] = pe
 	return pe
+}
+
+func (r *randomPolicy) MarkDefective(pe int) error {
+	if pe < 0 || pe >= r.m.NumPEs() {
+		return fmt.Errorf("placement: PE %d out of range [0,%d)", pe, r.m.NumPEs())
+	}
+	if r.defective == nil {
+		r.defective = make([]bool, r.m.NumPEs())
+	}
+	if !r.defective[pe] {
+		if r.usable <= 1 {
+			return fmt.Errorf("placement: cannot mark PE %d defective: no usable PEs would remain", pe)
+		}
+		r.defective[pe] = true
+		r.usable--
+		evictHomes(r.homes, pe)
+	}
+	return nil
 }
 
 // packedRandom fills PEs densely (capacity-aware like dynamic-snake) but
@@ -300,8 +479,7 @@ func NewPackedRandom(m Machine, seed uint64) Policy {
 		perm[i], perm[j] = perm[j], perm[i]
 	}
 	pr := &packedRandom{homes: make(map[profile.InstrRef]int)}
-	pr.m = m
-	pr.order = func(i int) int { return perm[i] }
+	pr.fill = newFill(m, func(i int) int { return perm[i] })
 	return pr
 }
 
@@ -316,9 +494,27 @@ func (p *packedRandom) Assign(ref profile.InstrRef) int {
 	return pe
 }
 
+func (p *packedRandom) MarkDefective(pe int) error {
+	if err := p.fill.markDefective(pe); err != nil {
+		return err
+	}
+	evictHomes(p.homes, pe)
+	return nil
+}
+
 // New constructs a policy by name; prog may be nil for policies that do not
-// inspect the program.
+// inspect the program. A defect map on the machine is validated here: it
+// must match the PE count and leave at least one PE usable.
 func New(name string, m Machine, prog *isa.Program, seed uint64) (Policy, error) {
+	if m.Defective != nil {
+		if len(m.Defective) != m.NumPEs() {
+			return nil, fmt.Errorf("placement: defect map has %d entries for %d PEs",
+				len(m.Defective), m.NumPEs())
+		}
+		if m.UsablePEs() == 0 {
+			return nil, fmt.Errorf("placement: no usable PEs (all %d defective)", m.NumPEs())
+		}
+	}
 	switch name {
 	case "dynamic-snake":
 		return NewDynamicSnake(m), nil

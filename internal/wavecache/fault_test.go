@@ -1,0 +1,232 @@
+package wavecache
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wavescalar/internal/fault"
+	"wavescalar/internal/lang"
+	"wavescalar/internal/placement"
+	"wavescalar/internal/testprogs"
+)
+
+// faultRun compiles src and simulates it under the given fault config on a
+// 2x2 grid, installing the config's defect map so placement and simulator
+// agree.
+func faultRun(t *testing.T, src string, fc fault.Config) (Result, []int64, error) {
+	t.Helper()
+	wp := compileSource(t, src)
+	cfg := DefaultConfig(2, 2)
+	cfg.Faults = fc
+	cfg.MaxCycles = 20_000_000 // backstop: a faulty run must terminate
+	cfg.Machine.Defective = fault.DefectMap(fc, cfg.Machine.NumPEs())
+	pol, err := placement.New("dynamic-depth-first-snake", cfg.Machine, wp, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunWithMemory(wp, pol, cfg)
+}
+
+// TestDisabledFaultsChangeNothing: a zero fault config (plus a generous
+// watchdog bound) must produce a bit-identical Result to a build that never
+// heard of the fault subsystem.
+func TestDisabledFaultsChangeNothing(t *testing.T) {
+	src := testprogs.Heavy[1].Src // sort_64
+	wp := compileSource(t, src)
+	cfg := DefaultConfig(2, 2)
+	base, err := Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := DefaultConfig(2, 2)
+	cfg2.Faults = fault.Config{} // explicit zero
+	cfg2.MaxCycles = 1 << 40
+	guarded, err := Run(wp, placement.NewDynamicSnake(cfg2.Machine), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, guarded) {
+		t.Fatalf("zero fault config perturbed the simulation:\n%+v\n%+v", base, guarded)
+	}
+}
+
+// TestChecksumsSurviveRecoverableFaults is the differential invariant: in
+// every recoverable scenario — dead PEs at configuration, dropped and
+// delayed operand messages, lost store-buffer messages, a PE death mid-run,
+// and all of them at once — the faulty machine must still compute the
+// fault-free result and final memory image.
+func TestChecksumsSurviveRecoverableFaults(t *testing.T) {
+	scenarios := []struct {
+		name string
+		fc   fault.Config
+	}{
+		{"defects", fault.Config{Seed: 11, DefectRate: 0.25}},
+		{"drops", fault.Config{Seed: 11, DropRate: 0.05}},
+		{"delays", fault.Config{Seed: 11, DelayRate: 0.2}},
+		{"memloss", fault.Config{Seed: 11, MemLossRate: 0.05}},
+		{"kill", fault.Config{Seed: 11, KillPE: 0, KillCycle: 200}},
+		{"combined", fault.Config{Seed: 11, DefectRate: 0.1, DropRate: 0.02,
+			DelayRate: 0.02, MemLossRate: 0.02, KillPE: 1, KillCycle: 500}},
+	}
+	for _, c := range []int{1, 21} { // add_mul-style + memory-heavy corpus entries
+		src := testprogs.Corpus[c].Src
+		f, err := lang.ParseAndCheck(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := lang.NewEvaluator(f, 0)
+		want, err := ev.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMem := ev.Memory()
+		for _, sc := range scenarios {
+			t.Run(testprogs.Corpus[c].Name+"/"+sc.name, func(t *testing.T) {
+				res, mem, err := faultRun(t, src, sc.fc)
+				if err != nil {
+					t.Fatalf("recoverable scenario failed: %v", err)
+				}
+				if res.Value != want {
+					t.Fatalf("value %d, want %d", res.Value, want)
+				}
+				for i := range wantMem {
+					if mem[i] != wantMem[i] {
+						t.Fatalf("memory[%d] = %d, want %d", i, mem[i], wantMem[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFaultyRunReproducible: the same (seed, config) must reproduce a
+// faulty run bit-for-bit, including every fault counter.
+func TestFaultyRunReproducible(t *testing.T) {
+	fc := fault.Config{Seed: 42, DefectRate: 0.2, DropRate: 0.03, DelayRate: 0.05, MemLossRate: 0.03}
+	src := testprogs.Heavy[1].Src
+	r1, _, err := faultRun(t, src, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := faultRun(t, src, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("faulty runs diverged:\n%+v\n%+v", r1, r2)
+	}
+	if r1.Net.Drops == 0 || r1.Faults.DefectivePEs == 0 {
+		t.Fatalf("scenario injected nothing: %+v", r1.Faults)
+	}
+	// A different seed must (for these rates) produce a different timing.
+	fc.Seed = 43
+	r3, _, err := faultRun(t, src, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Value != r1.Value {
+		t.Fatalf("seed change broke correctness: %d vs %d", r3.Value, r1.Value)
+	}
+	if r3.Cycles == r1.Cycles && r3.Net.Drops == r1.Net.Drops {
+		t.Log("note: different fault seeds produced identical timing (unlikely but legal)")
+	}
+}
+
+// TestRetryExhaustionIsStructuredError: a message that can never be
+// delivered must surface as a *fault.FaultError after bounded retries —
+// not a hang, not a panic.
+func TestRetryExhaustionIsStructuredError(t *testing.T) {
+	for _, sc := range []struct {
+		name string
+		src  string
+		fc   fault.Config
+	}{
+		{"operand-loss", testprogs.Corpus[1].Src, fault.Config{Seed: 1, DropRate: 1.0, MaxRetries: 2}},
+		// mem-loss needs a program that actually issues memory requests.
+		{"mem-loss", testprogs.Corpus[21].Src, fault.Config{Seed: 1, MemLossRate: 1.0, MaxRetries: 2}},
+	} {
+		t.Run(sc.name, func(t *testing.T) {
+			_, _, err := faultRun(t, sc.src, sc.fc)
+			var fe *fault.FaultError
+			if !errors.As(err, &fe) {
+				t.Fatalf("want *fault.FaultError, got %v", err)
+			}
+			if fe.Kind != fault.KindMessageLoss {
+				t.Fatalf("kind %v, want message-loss", fe.Kind)
+			}
+		})
+	}
+}
+
+// TestWatchdogMaxCycles: an undersized cycle budget must abort with the
+// watchdog's diagnostic dump rather than run on.
+func TestWatchdogMaxCycles(t *testing.T) {
+	wp := compileSource(t, testprogs.Heavy[1].Src)
+	cfg := DefaultConfig(2, 2)
+	cfg.MaxCycles = 10
+	_, err := Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg)
+	var fe *fault.FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *fault.FaultError, got %v", err)
+	}
+	if fe.Kind != fault.KindWatchdog {
+		t.Fatalf("kind %v, want watchdog", fe.Kind)
+	}
+	for _, needle := range []string{"watchdog report", "wave-ordering state", "partial operand tuples"} {
+		if !strings.Contains(err.Error(), needle) {
+			t.Errorf("diagnostic dump missing %q:\n%v", needle, err)
+		}
+	}
+}
+
+// TestMidRunKillMigrates: a PE death mid-run must be recovered by
+// re-placement and counted in the fault stats.
+func TestMidRunKillMigrates(t *testing.T) {
+	src := testprogs.Heavy[1].Src
+	want, err := lang.EvalProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := faultRun(t, src, fault.Config{Seed: 1, KillPE: 0, KillCycle: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != want {
+		t.Fatalf("value %d, want %d", res.Value, want)
+	}
+	if res.Faults.PEKills != 1 {
+		t.Fatalf("PEKills = %d, want 1", res.Faults.PEKills)
+	}
+	if res.Faults.MigratedInstrs == 0 {
+		t.Error("kill at cycle 100 migrated no instructions; PE 0 should have been busy")
+	}
+}
+
+// TestKillLastUsablePE: a death that leaves no usable PE is unrecoverable
+// and must return a placement-kind fault, not hang.
+func TestKillLastUsablePE(t *testing.T) {
+	wp := compileSource(t, testprogs.Corpus[1].Src)
+	cfg := DefaultConfig(1, 1)
+	n := cfg.Machine.NumPEs()
+	dead := make([]bool, n)
+	for i := 1; i < n; i++ {
+		dead[i] = true
+	}
+	cfg.Machine.Defective = dead
+	cfg.Faults = fault.Config{KillPE: 0, KillCycle: 1}
+	cfg.MaxCycles = 1 << 30
+	pol, err := placement.New("dynamic-snake", cfg.Machine, wp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(wp, pol, cfg)
+	var fe *fault.FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *fault.FaultError, got %v", err)
+	}
+	if fe.Kind != fault.KindPlacement {
+		t.Fatalf("kind %v, want placement", fe.Kind)
+	}
+}

@@ -24,7 +24,9 @@ package wavecache
 import (
 	"container/heap"
 	"fmt"
+	"strings"
 
+	"wavescalar/internal/fault"
 	"wavescalar/internal/isa"
 	"wavescalar/internal/mem"
 	"wavescalar/internal/noc"
@@ -94,6 +96,18 @@ type Config struct {
 
 	// Fuel bounds fired instructions (0 = 200M).
 	Fuel int64
+
+	// MaxCycles bounds simulated time: the watchdog aborts with a
+	// diagnostic dump when an event's timestamp exceeds it (0 = unbounded).
+	MaxCycles int64
+
+	// Faults configures deterministic fault injection; the zero value is a
+	// perfect machine and leaves every result bit-identical to a build
+	// without the fault subsystem. When Faults.DefectRate > 0 the caller
+	// must install fault.DefectMap(Faults, NumPEs) as Machine.Defective
+	// before constructing the placement policy, so placement and simulator
+	// agree on which PEs are dead.
+	Faults fault.Config
 }
 
 // DefaultConfig returns the published WaveScalar processor parameters on a
@@ -125,9 +139,10 @@ type Result struct {
 	Overflows uint64
 	PEsUsed   int
 
-	Net   noc.Stats
-	Mem   mem.Stats
-	Order waveorder.Stats
+	Net    noc.Stats
+	Mem    mem.Stats
+	Order  waveorder.Stats
+	Faults fault.Stats
 }
 
 // event kinds.
@@ -234,6 +249,11 @@ type sim struct {
 	done   bool
 	result int64
 
+	// Fault machinery (all nil/false on a perfect machine).
+	inj    *fault.Injector
+	killed bool  // the scheduled mid-run PE death has happened
+	memErr error // unrecoverable fault raised inside the issueMem callback
+
 	res Result
 }
 
@@ -301,6 +321,23 @@ func newSim(p *isa.Program, pol placement.Policy, cfg Config) (*sim, error) {
 	for i := range s.pes {
 		s.pes[i].resident = make(map[profile.InstrRef]uint64)
 	}
+	if cfg.Faults.Enabled() {
+		inj, err := fault.NewInjector(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		s.inj = inj
+		net.AttachFaults(inj)
+		if cfg.Faults.DefectRate > 0 && cfg.Machine.Defective == nil {
+			return nil, &fault.FaultError{Kind: fault.KindConfig, PE: -1,
+				Detail: "DefectRate set but Machine.Defective is nil; install fault.DefectMap before building the placement policy"}
+		}
+		if cfg.Faults.KillCycle > 0 && (cfg.Faults.KillPE < 0 || cfg.Faults.KillPE >= cfg.Machine.NumPEs()) {
+			return nil, &fault.FaultError{Kind: fault.KindConfig, PE: cfg.Faults.KillPE,
+				Detail: fmt.Sprintf("kill PE outside machine (0..%d)", cfg.Machine.NumPEs()-1)}
+		}
+		s.res.Faults.DefectivePEs = fault.CountDefects(cfg.Machine.Defective)
+	}
 	total := 0
 	s.instrBase = make([]int, len(p.Funcs))
 	for i := range p.Funcs {
@@ -322,6 +359,15 @@ func (s *sim) run() (Result, error) {
 
 	for s.events.Len() > 0 {
 		e := heap.Pop(&s.events).(*event)
+		if !s.killed && s.cfg.Faults.KillCycle > 0 && e.time >= s.cfg.Faults.KillCycle {
+			if err := s.killPE(); err != nil {
+				return Result{}, err
+			}
+		}
+		if s.cfg.MaxCycles > 0 && e.time > s.cfg.MaxCycles {
+			return Result{}, &fault.FaultError{Kind: fault.KindWatchdog, PE: -1, Cycle: e.time,
+				Detail: fmt.Sprintf("no completion within %d cycles\n%s", s.cfg.MaxCycles, s.diagnose())}
+		}
 		if e.time > s.now {
 			s.now = e.time
 		}
@@ -335,14 +381,18 @@ func (s *sim) run() (Result, error) {
 		case evFire:
 			err = s.fire(e)
 		case evMemArrive:
-			s.engine.Submit(e.req)
+			err = s.engine.Submit(e.req)
+			if err == nil {
+				err = s.memErr
+			}
 		}
 		if err != nil {
 			return Result{}, err
 		}
 	}
 	if !s.done {
-		return Result{}, fmt.Errorf("wavecache: deadlock — event queue drained without program return\n%s", s.engine.DebugState())
+		return Result{}, &fault.FaultError{Kind: fault.KindWatchdog, PE: -1, Cycle: s.maxT,
+			Detail: "deadlock — event queue drained without program return\n" + s.diagnose()}
 	}
 
 	s.res.Value = s.result
@@ -353,6 +403,13 @@ func (s *sim) run() (Result, error) {
 	s.res.Net = s.net.Stats()
 	s.res.Mem = s.memsys.Stats()
 	s.res.Order = s.engine.Stats()
+	if s.inj != nil {
+		st := s.inj.Stats()
+		s.res.Faults.MemDrops = st.MemDrops
+		s.res.Faults.MemRetries = st.MemRetries
+		s.res.Faults.MemRetryWait = st.MemRetryWait
+		s.res.Faults.DelayedTokens = st.DelayedTokens
+	}
 	for i := range s.pes {
 		if s.pes[i].used {
 			s.res.PEsUsed++
@@ -446,13 +503,114 @@ func (s *sim) deliver(e *event) error {
 	return nil
 }
 
-// send routes an output token through the operand network.
-func (s *sim) send(fromPE int, fn isa.FuncID, dests []isa.Dest, tag isa.Tag, val int64, t int64) {
+// send routes an output token through the operand network. Under fault
+// injection each message rides the ack/retransmit protocol; retry
+// exhaustion surfaces as a structured *fault.FaultError.
+func (s *sim) send(fromPE int, fn isa.FuncID, dests []isa.Dest, tag isa.Tag, val int64, t int64) error {
 	for _, d := range dests {
 		dstPE := s.homePE(fn, d.Instr)
-		arr := s.net.Send(s.loc(fromPE), s.loc(dstPE), t)
+		arr, err := s.sendOperand(fromPE, dstPE, t)
+		if err != nil {
+			return err
+		}
 		s.push(&event{time: arr, kind: evToken, fn: fn, dest: d, tag: tag, val: val})
 	}
+	return nil
+}
+
+// sendOperand times one operand-network message under the fault model.
+func (s *sim) sendOperand(fromPE, dstPE int, t int64) (int64, error) {
+	arr, err := s.net.SendReliable(s.loc(fromPE), s.loc(dstPE), t)
+	if err != nil {
+		return 0, &fault.FaultError{Kind: fault.KindMessageLoss, PE: fromPE, Cycle: t, Detail: err.Error()}
+	}
+	return arr, nil
+}
+
+// memHop times one store-buffer message (PE -> buffer or buffer -> PE):
+// the dedicated short path when cluster-local, the mesh otherwise, under
+// the memory fault stream's loss/retransmit protocol.
+func (s *sim) memHop(src, dst noc.Loc, t int64, pe int) (int64, error) {
+	transport := func(send int64) int64 {
+		if src.Cluster == dst.Cluster {
+			return send + s.cfg.MemMsgLatency
+		}
+		return s.net.Send(src, dst, send)
+	}
+	if s.inj == nil {
+		return transport(t), nil
+	}
+	return s.inj.MemTransit(t, pe, transport)
+}
+
+// killPE executes the scheduled mid-run PE death: the placement policy is
+// reconfigured so the dead PE is never assigned again, its resident
+// instructions migrate (their homes re-place lazily on next reference),
+// and its matching-table state is replayed against the new homes. Tokens
+// already in flight re-route automatically because every delivery looks
+// the home PE up afresh.
+func (s *sim) killPE() error {
+	s.killed = true
+	pe := s.cfg.Faults.KillPE
+	at := s.cfg.Faults.KillCycle
+	rc, ok := s.pol.(placement.Reconfigurable)
+	if !ok {
+		return &fault.FaultError{Kind: fault.KindPlacement, PE: pe, Cycle: at,
+			Detail: fmt.Sprintf("PE died mid-run but policy %T cannot re-place instructions", s.pol)}
+	}
+	if err := rc.MarkDefective(pe); err != nil {
+		return &fault.FaultError{Kind: fault.KindPlacement, PE: pe, Cycle: at, Detail: err.Error()}
+	}
+	ps := &s.pes[pe]
+	s.res.Faults.PEKills++
+	s.res.Faults.MigratedInstrs += uint64(len(ps.resident))
+	ps.resident = make(map[profile.InstrRef]uint64)
+	ps.waiting = 0
+	ps.free = 0
+	// Record the death in the simulator's defect view (copy-on-write: the
+	// caller's map must not be mutated) so diagnostics report it.
+	d := make([]bool, s.cfg.Machine.NumPEs())
+	copy(d, s.cfg.Machine.Defective)
+	d[pe] = true
+	s.cfg.Machine.Defective = d
+	return nil
+}
+
+// diagnose renders the watchdog's dump: which PEs hold waiting tokens,
+// how many operand tuples sit partially matched, which PEs are dead, and
+// the ordering engine's unresolved wave chains.
+func (s *sim) diagnose() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "watchdog report: %d events queued, %d instructions fired, t=%d\n",
+		s.events.Len(), s.res.Fired, s.maxT)
+	stuck := 0
+	for i := range s.pes {
+		if s.pes[i].waiting > 0 {
+			if stuck < 16 {
+				fmt.Fprintf(&b, "  pe %d: %d waiting tokens, %d resident instructions\n",
+					i, s.pes[i].waiting, len(s.pes[i].resident))
+			}
+			stuck++
+		}
+	}
+	fmt.Fprintf(&b, "  %d PEs hold waiting tokens\n", stuck)
+	partial := 0
+	for _, st := range s.opstore {
+		partial += len(st)
+	}
+	fmt.Fprintf(&b, "  %d partial operand tuples awaiting matches\n", partial)
+	if n := fault.CountDefects(s.cfg.Machine.Defective); n > 0 {
+		fmt.Fprintf(&b, "  %d defective PEs:", n)
+		for i, dead := range s.cfg.Machine.Defective {
+			if dead {
+				fmt.Fprintf(&b, " %d", i)
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  wave-ordering state: ")
+	b.WriteString(s.engine.DebugState())
+	return b.String()
 }
 
 // bufferCluster binds a dynamic wave to a store buffer by first touch: the
@@ -476,13 +634,11 @@ func (s *sim) bufferCluster(tag isa.Tag, requesterPE int) int {
 
 // submitMem routes a memory message from a PE to its wave's store buffer:
 // a dedicated short path within the cluster, the mesh across clusters.
-func (s *sim) submitMem(pe int, fn isa.FuncID, id isa.InstrID, in *isa.Instruction, tag isa.Tag, addr, val int64, childCtx uint32, t int64) {
+func (s *sim) submitMem(pe int, fn isa.FuncID, id isa.InstrID, in *isa.Instruction, tag isa.Tag, addr, val int64, childCtx uint32, t int64) error {
 	buf := s.bufferCluster(tag, pe)
-	var arr int64
-	if s.loc(pe).Cluster == buf {
-		arr = t + s.cfg.MemMsgLatency
-	} else {
-		arr = s.net.Send(s.loc(pe), noc.Loc{Cluster: buf}, t)
+	arr, err := s.memHop(s.loc(pe), noc.Loc{Cluster: buf}, t, pe)
+	if err != nil {
+		return err
 	}
 	req := &waveorder.Request{
 		Ctx: tag.Ctx, Wave: tag.Wave,
@@ -491,6 +647,7 @@ func (s *sim) submitMem(pe int, fn isa.FuncID, id isa.InstrID, in *isa.Instructi
 		Cookie: memCookie{fn: fn, id: id, tag: tag, fireAt: t, pe: pe, buf: buf},
 	}
 	s.push(&event{time: arr, kind: evMemArrive, req: req})
+	return nil
 }
 
 // fire executes one instruction instance.
@@ -507,47 +664,55 @@ func (s *sim) fire(e *event) error {
 
 	switch {
 	case in.Op == isa.OpNop:
-		s.send(pe, fn, in.Dests, tag, vals[0], t)
+		return s.send(pe, fn, in.Dests, tag, vals[0], t)
 	case in.Op == isa.OpConst:
-		s.send(pe, fn, in.Dests, tag, in.Imm, t)
+		return s.send(pe, fn, in.Dests, tag, in.Imm, t)
 	case isa.IsALU(in.Op):
-		s.send(pe, fn, in.Dests, tag, isa.EvalALU(in.Op, vals[0], vals[1]), t)
+		return s.send(pe, fn, in.Dests, tag, isa.EvalALU(in.Op, vals[0], vals[1]), t)
 	case in.Op == isa.OpSteer:
 		if vals[0] != 0 {
-			s.send(pe, fn, in.Dests, tag, vals[1], t)
-		} else {
-			s.send(pe, fn, in.DestsFalse, tag, vals[1], t)
+			return s.send(pe, fn, in.Dests, tag, vals[1], t)
 		}
+		return s.send(pe, fn, in.DestsFalse, tag, vals[1], t)
 	case in.Op == isa.OpSelect:
 		v := vals[2]
 		if vals[0] != 0 {
 			v = vals[1]
 		}
-		s.send(pe, fn, in.Dests, tag, v, t)
+		return s.send(pe, fn, in.Dests, tag, v, t)
 	case in.Op == isa.OpWaveAdvance:
-		s.send(pe, fn, in.Dests, tag.Advance(), vals[0], t)
+		return s.send(pe, fn, in.Dests, tag.Advance(), vals[0], t)
 	case in.Op == isa.OpLoad:
-		s.submitMem(pe, fn, id, in, tag, vals[0], 0, 0, t)
+		return s.submitMem(pe, fn, id, in, tag, vals[0], 0, 0, t)
 	case in.Op == isa.OpStore:
-		s.submitMem(pe, fn, id, in, tag, vals[0], vals[1], 0, t)
-		s.send(pe, fn, in.Dests, tag, vals[1], t)
+		if err := s.submitMem(pe, fn, id, in, tag, vals[0], vals[1], 0, t); err != nil {
+			return err
+		}
+		return s.send(pe, fn, in.Dests, tag, vals[1], t)
 	case in.Op == isa.OpMemNop:
-		s.submitMem(pe, fn, id, in, tag, 0, 0, 0, t)
-		s.send(pe, fn, in.Dests, tag, vals[0], t)
+		if err := s.submitMem(pe, fn, id, in, tag, 0, 0, 0, t); err != nil {
+			return err
+		}
+		return s.send(pe, fn, in.Dests, tag, vals[0], t)
 	case in.Op == isa.OpNewCtx:
 		ctx := s.nextCtx
 		s.nextCtx++
 		s.ctxMeta[ctx] = ctxInfo{callerFunc: fn, callerTag: tag, retPad: isa.InstrID(in.TargetPad)}
 		if in.Mem.Kind == isa.MemCall {
-			s.submitMem(pe, fn, id, in, tag, 0, 0, ctx, t)
+			if err := s.submitMem(pe, fn, id, in, tag, 0, 0, ctx, t); err != nil {
+				return err
+			}
 		}
-		s.send(pe, fn, in.Dests, tag, int64(ctx), t)
+		return s.send(pe, fn, in.Dests, tag, int64(ctx), t)
 	case in.Op == isa.OpSendArg:
 		callee := in.Target
 		ctx := uint32(vals[0])
 		pad := s.prog.Funcs[callee].Params[in.TargetPad]
 		dstPE := s.homePE(callee, pad)
-		arr := s.net.Send(s.loc(pe), s.loc(dstPE), t)
+		arr, err := s.sendOperand(pe, dstPE, t)
+		if err != nil {
+			return err
+		}
 		s.push(&event{time: arr, kind: evToken, fn: callee,
 			dest: isa.Dest{Instr: pad, Port: 0}, tag: isa.Tag{Ctx: ctx, Wave: 0}, val: vals[1]})
 	case in.Op == isa.OpReturn:
@@ -557,7 +722,9 @@ func (s *sim) fire(e *event) error {
 		}
 		delete(s.ctxMeta, tag.Ctx)
 		if in.Mem.Kind == isa.MemEnd {
-			s.submitMem(pe, fn, id, in, tag, 0, 0, 0, t)
+			if err := s.submitMem(pe, fn, id, in, tag, 0, 0, 0, t); err != nil {
+				return err
+			}
 		}
 		if meta.retPad == isa.NoInstr {
 			s.done = true
@@ -565,7 +732,10 @@ func (s *sim) fire(e *event) error {
 			return nil
 		}
 		dstPE := s.homePE(meta.callerFunc, meta.retPad)
-		arr := s.net.Send(s.loc(pe), s.loc(dstPE), t)
+		arr, err := s.sendOperand(pe, dstPE, t)
+		if err != nil {
+			return err
+		}
 		s.push(&event{time: arr, kind: evToken, fn: meta.callerFunc,
 			dest: isa.Dest{Instr: meta.retPad, Port: 0}, tag: meta.callerTag, val: vals[0]})
 	default:
@@ -603,11 +773,14 @@ func (s *sim) issueMem(r *waveorder.Request) {
 		in := &s.prog.Funcs[ck.fn].Instrs[ck.id]
 		for _, d := range in.Dests {
 			dstPE := s.homePE(ck.fn, d.Instr)
-			var arr int64
-			if s.loc(dstPE).Cluster == buf {
-				arr = done + s.cfg.MemMsgLatency
-			} else {
-				arr = s.net.Send(noc.Loc{Cluster: buf}, s.loc(dstPE), done)
+			arr, err := s.memHop(noc.Loc{Cluster: buf}, s.loc(dstPE), done, dstPE)
+			if err != nil {
+				// issueMem is a callback without an error path; park the
+				// fault for the run loop to surface after Submit returns.
+				if s.memErr == nil {
+					s.memErr = err
+				}
+				return
 			}
 			s.push(&event{time: arr, kind: evToken, fn: ck.fn, dest: d, tag: ck.tag, val: v})
 		}

@@ -178,10 +178,14 @@ func (e *Engine) Pending() int { return e.pending }
 func (e *Engine) Done() bool { return e.root.ended }
 
 // Submit hands a request to the engine. The request (and possibly others
-// unblocked by it) may issue synchronously before Submit returns.
-func (e *Engine) Submit(r *Request) {
+// unblocked by it) may issue synchronously before Submit returns. A request
+// that cannot belong to any legal program order — one arriving after the
+// program's memory sequence ended, carrying an unknown kind, or splicing a
+// context twice — is reported as an error: a malformed binary fails its own
+// run instead of crashing the process.
+func (e *Engine) Submit(r *Request) error {
 	if e.root.ended {
-		panic(fmt.Sprintf("waveorder: request %v after program memory sequence ended", r))
+		return fmt.Errorf("waveorder: request %v after program memory sequence ended", r)
 	}
 	c := e.ctxs[r.Ctx]
 	if c == nil {
@@ -194,21 +198,21 @@ func (e *Engine) Submit(r *Request) {
 		e.stats.MaxPending = e.pending
 	}
 	e.stats.Submitted++
-	e.drain()
+	return e.drain()
 }
 
 // drain issues every request that is now ordered, following chain links,
 // wave completions, call splices, and context ends until no progress is
 // possible.
-func (e *Engine) drain() {
+func (e *Engine) drain() error {
 	for {
 		c := e.top
 		if c == nil || c.ended {
-			return
+			return nil
 		}
 		w := c.waves[c.curWave]
 		if w == nil {
-			return
+			return nil
 		}
 		var next *Request
 		if c.last == nil {
@@ -224,19 +228,20 @@ func (e *Engine) drain() {
 			}
 		}
 		if next == nil {
-			return
+			return nil
 		}
 		w.remove(next)
 		if w.empty() {
 			delete(c.waves, c.curWave)
 		}
 		e.pending--
-		e.issueOne(c, next)
+		if err := e.issueOne(c, next); err != nil {
+			return err
+		}
 	}
 }
 
-func (e *Engine) issueOne(c *ctxState, r *Request) {
-	e.stats.Issued++
+func (e *Engine) issueOne(c *ctxState, r *Request) error {
 	switch r.Kind {
 	case isa.MemLoad:
 		e.stats.Loads++
@@ -249,8 +254,9 @@ func (e *Engine) issueOne(c *ctxState, r *Request) {
 	case isa.MemEnd:
 		e.stats.Ends++
 	default:
-		panic(fmt.Sprintf("waveorder: issuing request with kind %v", r.Kind))
+		return fmt.Errorf("waveorder: issuing request %v with unknown kind %v", r, r.Kind)
 	}
+	e.stats.Issued++
 	e.issue(r)
 
 	switch r.Kind {
@@ -263,7 +269,7 @@ func (e *Engine) issueOne(c *ctxState, r *Request) {
 			e.ctxs[r.ChildCtx] = child
 		}
 		if child.parent != nil {
-			panic(fmt.Sprintf("waveorder: context %d spliced twice", r.ChildCtx))
+			return fmt.Errorf("waveorder: context %d spliced twice (second call slot %v)", r.ChildCtx, r)
 		}
 		child.parent = c
 		child.callSlot = r
@@ -282,13 +288,14 @@ func (e *Engine) issueOne(c *ctxState, r *Request) {
 		} else {
 			e.top = nil
 		}
-		return
+		return nil
 	default:
 		c.last = r
 	}
 	if r.Kind != isa.MemCall && r.Succ == isa.SeqEnd {
 		e.completeWave(c)
 	}
+	return nil
 }
 
 func (e *Engine) completeWave(c *ctxState) {

@@ -2,6 +2,7 @@ package waveorder
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -293,28 +294,41 @@ func TestStatsAccounting(t *testing.T) {
 	}
 }
 
-func TestDoubleSplicePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on double splice")
-		}
-	}()
+func TestDoubleSpliceError(t *testing.T) {
 	e := NewEngine(0, func(*Request) {})
 	// Context 0 splices in context 5; context 5 then tries to splice in
-	// itself, which re-parents an already-spliced context and must panic.
-	e.Submit(&Request{Ctx: 0, Kind: isa.MemCall, Seq: 0, Pred: isa.SeqStart, Succ: 1, ChildCtx: 5})
-	e.Submit(&Request{Ctx: 5, Kind: isa.MemCall, Seq: 0, Pred: isa.SeqStart, Succ: 1, ChildCtx: 5})
+	// itself, which re-parents an already-spliced context: a malformed
+	// binary, reported as an error rather than a process crash.
+	if err := e.Submit(&Request{Ctx: 0, Kind: isa.MemCall, Seq: 0, Pred: isa.SeqStart, Succ: 1, ChildCtx: 5}); err != nil {
+		t.Fatalf("first splice: %v", err)
+	}
+	err := e.Submit(&Request{Ctx: 5, Kind: isa.MemCall, Seq: 0, Pred: isa.SeqStart, Succ: 1, ChildCtx: 5})
+	if err == nil || !strings.Contains(err.Error(), "spliced twice") {
+		t.Fatalf("expected double-splice error, got %v", err)
+	}
 }
 
-func TestSubmitAfterEndPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on submit after program end")
-		}
-	}()
+func TestSubmitAfterEndError(t *testing.T) {
 	e := NewEngine(0, func(*Request) {})
-	e.Submit(&Request{Ctx: 0, Kind: isa.MemEnd, Seq: 0, Pred: isa.SeqStart, Succ: isa.SeqEnd})
-	e.Submit(&Request{Ctx: 1, Kind: isa.MemNop, Seq: 1, Pred: 0, Succ: isa.SeqEnd})
+	if err := e.Submit(&Request{Ctx: 0, Kind: isa.MemEnd, Seq: 0, Pred: isa.SeqStart, Succ: isa.SeqEnd}); err != nil {
+		t.Fatalf("program end: %v", err)
+	}
+	err := e.Submit(&Request{Ctx: 1, Kind: isa.MemNop, Seq: 1, Pred: 0, Succ: isa.SeqEnd})
+	if err == nil || !strings.Contains(err.Error(), "after program memory sequence ended") {
+		t.Fatalf("expected submit-after-end error, got %v", err)
+	}
+}
+
+func TestUnknownKindError(t *testing.T) {
+	e := NewEngine(0, func(*Request) {})
+	err := e.Submit(&Request{Ctx: 0, Kind: isa.MemKind(200), Seq: 0, Pred: isa.SeqStart, Succ: isa.SeqEnd})
+	if err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("expected unknown-kind error, got %v", err)
+	}
+	// The malformed request must not be counted as issued.
+	if s := e.Stats(); s.Issued != 0 {
+		t.Fatalf("issued=%d after rejected request, want 0", s.Issued)
+	}
 }
 
 func BenchmarkEngineInOrder(b *testing.B) {

@@ -22,6 +22,7 @@ import (
 
 	"wavescalar/internal/asm"
 	"wavescalar/internal/cfgir"
+	"wavescalar/internal/fault"
 	"wavescalar/internal/interp"
 	"wavescalar/internal/isa"
 	"wavescalar/internal/lang"
@@ -155,8 +156,13 @@ type InterpretResult struct {
 
 // Interpret executes the program on the reference tagged-token dataflow
 // interpreter (unbounded PEs, unit latency).
-func (p *Program) Interpret() (InterpretResult, error) {
-	m := interp.New(p.dataflow, 0)
+func (p *Program) Interpret() (InterpretResult, error) { return p.InterpretWithFuel(0) }
+
+// InterpretWithFuel is Interpret under a step budget: a runaway or
+// deadlocked program terminates with an error carrying the interpreter's
+// diagnostic state dump instead of running forever (0 = default budget).
+func (p *Program) InterpretWithFuel(fuel int64) (InterpretResult, error) {
+	m := interp.New(p.dataflow, fuel)
 	v, err := m.Run()
 	if err != nil {
 		return InterpretResult{}, err
@@ -193,6 +199,17 @@ type SimConfig struct {
 	L1Words int64
 	// Fuel bounds fired instructions (0 = default).
 	Fuel int64
+	// MaxCycles bounds simulated time; exceeding it aborts with the
+	// watchdog's diagnostic dump (0 = unbounded).
+	MaxCycles int64
+	// Faults is the fault-injection specification, comma-separated
+	// key=value pairs: defect, drop, delay, memloss (rates in [0,1]),
+	// kill=PE@CYCLE, retries=N, timeout=CYCLES, delaycycles=CYCLES.
+	// Empty disables injection.
+	Faults string
+	// FaultSeed drives every fault decision; the same (seed, spec) pair
+	// reproduces a faulty run bit-for-bit.
+	FaultSeed uint64
 }
 
 // DefaultSimConfig returns the tuned kernel-scale configuration.
@@ -216,6 +233,15 @@ type SimResult struct {
 	CoherenceMoves  uint64
 	NetworkMessages uint64
 	MemoryOps       uint64
+
+	// Fault injection and recovery (all zero without a Faults spec).
+	DefectivePEs    int
+	PEKills         uint64
+	MigratedInstrs  uint64
+	MessageDrops    uint64 // lost attempts (operand network + store buffer)
+	MessageRetries  uint64 // successful retransmits
+	RetryWaitCycles uint64 // cycles spent in ack timeouts before retransmits
+	DelayedMessages uint64
 }
 
 // Simulate runs the program on the cycle-level WaveCache simulator.
@@ -252,6 +278,18 @@ func (p *Program) Simulate(sc SimConfig) (SimResult, error) {
 		cfg.Mem.L1.SizeWords = sc.L1Words
 	}
 	cfg.Fuel = sc.Fuel
+	cfg.MaxCycles = sc.MaxCycles
+	if sc.Faults != "" {
+		fc, err := fault.ParseSpec(sc.Faults)
+		if err != nil {
+			return SimResult{}, err
+		}
+		fc.Seed = sc.FaultSeed
+		cfg.Faults = fc
+		// Placement and simulator must agree on the defect map, so it is
+		// installed on the machine before the policy is constructed.
+		cfg.Machine.Defective = fault.DefectMap(fc, cfg.Machine.NumPEs())
+	}
 	if sc.Placement == "" {
 		sc.Placement = "dynamic-depth-first-snake"
 	}
@@ -275,6 +313,13 @@ func (p *Program) Simulate(sc SimConfig) (SimResult, error) {
 		CoherenceMoves:  res.Mem.Transfers + res.Mem.Invals,
 		NetworkMessages: res.Net.Messages,
 		MemoryOps:       res.Order.Loads + res.Order.Stores,
+		DefectivePEs:    res.Faults.DefectivePEs,
+		PEKills:         res.Faults.PEKills,
+		MigratedInstrs:  res.Faults.MigratedInstrs,
+		MessageDrops:    res.Net.Drops + res.Faults.MemDrops,
+		MessageRetries:  res.Net.Retries + res.Faults.MemRetries,
+		RetryWaitCycles: res.Net.RetryWaitCycles + res.Faults.MemRetryWait,
+		DelayedMessages: res.Net.Delayed + res.Faults.DelayedTokens,
 	}
 	if res.Mem.Accesses > 0 {
 		out.L1MissRate = float64(res.Mem.L1Misses) / float64(res.Mem.Accesses)
