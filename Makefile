@@ -5,9 +5,12 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz
+.PHONY: ci check vet build test race bench fuzz
 
 ci: vet build test race
+
+# check is the fast pre-commit gate: vet + build + tests, no race pass.
+check: vet build test
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/harness ./internal/wavecache ./internal/ooo ./internal/fault ./internal/noc ./internal/waveorder
+	$(GO) test -race ./internal/parallel ./internal/harness ./internal/wavecache ./internal/ooo ./internal/fault ./internal/noc ./internal/waveorder ./internal/trace
 
 # fuzz runs the native fuzz targets for a short burst — a smoke pass, not
 # a soak; crashes land in testdata/fuzz/ as usual.

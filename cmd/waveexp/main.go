@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	waveexp [-experiments E1,E4] [-benches fft,lu] [-grid 4x4] [-j 8] [-out results.txt]
+//	waveexp [-experiments E1,E4] [-benches fft,lu] [-grid 4x4] [-j 8]
+//	        [-metrics] [-out results.txt]
 //
 // Compilation and the experiments' simulation cells fan out across -j
 // worker goroutines (default: one per CPU). The tables are byte-identical
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"wavescalar/internal/harness"
+	"wavescalar/internal/trace"
 	"wavescalar/internal/workloads"
 )
 
@@ -33,6 +35,8 @@ func main() {
 	outPath := flag.String("out", "", "write results to this file instead of stdout")
 	unroll := flag.Int("unroll", 4, "loop unrolling factor")
 	jobs := flag.Int("j", runtime.NumCPU(), "worker goroutines for compilation and simulation cells (1 = sequential)")
+	metrics := flag.Bool("metrics", false,
+		"aggregate WaveCache trace metrics across each experiment's cells and print a summary table after it")
 	flag.Parse()
 	if *jobs < 1 {
 		fatal(fmt.Errorf("-j must be >= 1, got %d", *jobs))
@@ -65,6 +69,9 @@ func main() {
 
 	m := harness.DefaultMachineOptions()
 	m.Workers = *jobs
+	if *metrics {
+		m.Metrics = trace.NewAggregate()
+	}
 	if _, err := fmt.Sscanf(*grid, "%dx%d", &m.GridW, &m.GridH); err != nil {
 		fatal(fmt.Errorf("bad -grid %q: %v", *grid, err))
 	}
@@ -86,6 +93,7 @@ func main() {
 				fatal(err)
 			}
 			fmt.Fprintln(out, tbl.Render())
+			harness.WriteMetrics(e.ID, m, out)
 			fmt.Fprintf(out, "(%s in %v)\n", e.ID, time.Since(t0).Round(time.Millisecond))
 		}
 	}

@@ -6,16 +6,26 @@
 //	wavesim [-grid 4x4] [-placement dynamic-depth-first-snake]
 //	        [-memmode wave-ordered] [-density 16] [-queue 64]
 //	        [-faults defect=0.05,drop=0.01] [-fault-seed 1] [-max-cycles N]
+//	        [-trace events.jsonl] [-trace-chrome trace.json] [-metrics]
 //	        [-baseline] file.wsl
+//
+// -trace writes the structured event stream as JSONL (one event per line);
+// -trace-chrome writes the same run in Chrome trace_event format — open it
+// at chrome://tracing or https://ui.perfetto.dev. -metrics prints the
+// per-run trace metrics summary table. All three are deterministic for a
+// fixed program, configuration, and fault seed, and none of them perturbs
+// the simulated timing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"wavescalar"
+	"wavescalar/internal/trace"
 )
 
 func main() {
@@ -32,6 +42,10 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for deterministic fault injection")
 	maxCycles := flag.Int64("max-cycles", 0,
 		"watchdog bound on simulated cycles; exceeding it aborts with a diagnostic dump (0 = unbounded)")
+	tracePath := flag.String("trace", "", "write the structured event stream to this file as JSONL")
+	chromePath := flag.String("trace-chrome", "", "write a Chrome trace_event file (open at chrome://tracing)")
+	metrics := flag.Bool("metrics", false, "print the per-run trace metrics summary table")
+	sample := flag.Int64("trace-sample", 0, "trace counter sampling interval in cycles (0 = default)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wavesim [flags] file.wsl\n")
 		flag.PrintDefaults()
@@ -53,6 +67,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var tr *trace.Tracer
+	if *tracePath != "" || *chromePath != "" || *metrics {
+		tr = trace.New(trace.Config{
+			Events:         *tracePath != "" || *chromePath != "",
+			SampleInterval: *sample,
+		})
+	}
 	res, err := prog.Simulate(wavescalar.SimConfig{
 		GridW: w, GridH: h,
 		Placement:  *pol,
@@ -62,9 +83,20 @@ func main() {
 		MaxCycles:  *maxCycles,
 		Faults:     *faults,
 		FaultSeed:  *faultSeed,
+		Tracer:     tr,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, tr.WriteJSONL); err != nil {
+			fatal(err)
+		}
+	}
+	if *chromePath != "" {
+		if err := writeTrace(*chromePath, tr.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("result:             %d\n", res.Value)
 	fmt.Printf("cycles:             %d\n", res.Cycles)
@@ -81,6 +113,10 @@ func main() {
 			res.DefectivePEs, res.PEKills, res.MigratedInstrs)
 		fmt.Printf("fault recovery:     %d drops, %d retransmits, %d delayed, %d cycles in ack timeouts\n",
 			res.MessageDrops, res.MessageRetries, res.DelayedMessages, res.RetryWaitCycles)
+	}
+	if *metrics {
+		fmt.Println()
+		fmt.Println(tr.Metrics().Summary("WaveCache trace metrics").Render())
 	}
 
 	if *baseline {
@@ -99,6 +135,21 @@ func max(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// writeTrace creates path and streams one of the tracer's export formats
+// into it, reporting close errors (a full disk truncates JSON silently
+// otherwise).
+func writeTrace(path string, export func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"wavescalar/internal/trace"
 )
 
 // Config declares the fault scenario for one simulation run. The zero value
@@ -294,7 +296,12 @@ type Injector struct {
 	tokState uint64 // operand-network stream
 	memState uint64 // store-buffer stream
 	stats    Stats
+	tr       *trace.Tracer // nil = tracing disabled
 }
+
+// AttachTracer installs the structured tracing sink (nil disables it);
+// store-buffer-path drops and retries are recorded as discrete events.
+func (in *Injector) AttachTracer(tr *trace.Tracer) { in.tr = tr }
 
 // NewInjector builds the injector for a validated config.
 func NewInjector(cfg Config) (*Injector, error) {
@@ -396,6 +403,7 @@ func (in *Injector) MemTransit(now int64, pe int, transport func(send int64) int
 		if !drop {
 			return transport(send) + delay, nil
 		}
+		in.tr.Drop(send, pe)
 		if attempt >= in.cfg.MaxRetries {
 			return 0, &FaultError{
 				Kind: KindMessageLoss, PE: pe, Cycle: now,
@@ -405,6 +413,7 @@ func (in *Injector) MemTransit(now int64, pe int, transport func(send int64) int
 		wait := in.Timeout(attempt)
 		in.stats.MemRetries++
 		in.stats.MemRetryWait += uint64(wait)
+		in.tr.Retry(send, pe, wait)
 		send += wait
 	}
 }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"wavescalar/internal/ooo"
 	"wavescalar/internal/placement"
@@ -112,8 +113,11 @@ func runE1(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 			return err
 		})
 		cells.add(func() error {
-			var err error
-			rows[i].ires, err = RunWave(c, c.Wave, placement.NewDynamicSnake(idealWaveConfig().Machine), idealWaveConfig())
+			pol, err := placement.NewDynamicSnake(idealWaveConfig().Machine)
+			if err != nil {
+				return err
+			}
+			rows[i].ires, err = RunWave(c, c.Wave, pol, idealWaveConfig())
 			return err
 		})
 	}
@@ -542,7 +546,11 @@ func runE11(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 		})
 		cells.add(func() error {
 			// Rolled linear build for the baseline.
-			rolled, err := CompileWorkload(mustWorkload(c.Name), CompileOptions{Unroll: 1})
+			w, err := workloadByName(c.Name)
+			if err != nil {
+				return err
+			}
+			rolled, err := CompileWorkload(w, CompileOptions{Unroll: 1})
 			if err != nil {
 				return err
 			}
@@ -572,10 +580,15 @@ func runE11(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 	return t, nil
 }
 
-func mustWorkload(name string) *workloads.Workload {
+// workloadByName resolves a workload by name, reporting an unknown name
+// as a structured error (the same path Suite and NewPolicy use) so it
+// surfaces through the experiment error chain and the CLI's non-zero
+// exit instead of panicking.
+func workloadByName(name string) (*workloads.Workload, error) {
 	w := workloads.ByName(name)
 	if w == nil {
-		panic("harness: unknown workload " + name)
+		return nil, fmt.Errorf("harness: unknown workload %q (available: %s)",
+			name, strings.Join(workloads.Names(), ", "))
 	}
-	return w
+	return w, nil
 }

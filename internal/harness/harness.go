@@ -29,6 +29,7 @@ import (
 	"wavescalar/internal/parallel"
 	"wavescalar/internal/placement"
 	"wavescalar/internal/stats"
+	"wavescalar/internal/trace"
 	"wavescalar/internal/wavec"
 	"wavescalar/internal/wavecache"
 	"wavescalar/internal/workloads"
@@ -181,6 +182,12 @@ type MachineOptions struct {
 	// byte-identical tables: cells collect results by index, never by
 	// completion order.
 	Workers int
+	// Metrics, when non-nil, collects trace counters from every WaveCache
+	// cell an experiment runs (the aggregate is thread-safe and its merge
+	// commutative, so summaries are worker-count invariant). nil — the
+	// default — leaves the simulators' tracing disabled and all tables
+	// byte-identical to a metrics-free build.
+	Metrics *trace.Aggregate
 }
 
 // DefaultMachineOptions is the tuned kernel-scale configuration.
@@ -194,6 +201,7 @@ func (m MachineOptions) WaveConfig() wavecache.Config {
 	cfg := wavecache.DefaultConfig(m.GridW, m.GridH)
 	cfg.Machine.Capacity = m.Density
 	cfg.InputQueue = m.InputQueue
+	cfg.Metrics = m.Metrics
 	return cfg
 }
 
@@ -270,7 +278,9 @@ type Experiment struct {
 // RunAll executes every experiment, writing each table to w as it
 // completes, followed by a per-experiment wall-clock line. The timing
 // lines are the only output that varies between runs; the tables
-// themselves are deterministic at any m.Workers setting.
+// themselves are deterministic at any m.Workers setting. With m.Metrics
+// installed, each experiment's table is followed by the merged WaveCache
+// trace-counter summary of its cells (also deterministic).
 func RunAll(set []*Compiled, m MachineOptions, w io.Writer) error {
 	for _, e := range Experiments {
 		fmt.Fprintf(w, "\n## %s — %s\n\n", e.ID, e.Title)
@@ -281,9 +291,20 @@ func RunAll(set []*Compiled, m MachineOptions, w io.Writer) error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Fprintln(w, tbl.Render())
+		WriteMetrics(e.ID, m, w)
 		fmt.Fprintf(w, "(%s in %v)\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// WriteMetrics renders and resets the experiment-level metrics aggregate
+// (a no-op when metrics collection is off or no WaveCache cell ran).
+func WriteMetrics(id string, m MachineOptions, w io.Writer) {
+	if m.Metrics == nil || m.Metrics.Runs() == 0 {
+		return
+	}
+	fmt.Fprintln(w, m.Metrics.Summary(id+": WaveCache trace metrics (all cells)").Render())
+	m.Metrics.Reset()
 }
 
 // idealWaveConfig is the unbounded-resource dataflow machine used as the

@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wavescalar/internal/fault"
+	"wavescalar/internal/placement"
+	"wavescalar/internal/trace"
+	"wavescalar/internal/wavecache"
+)
+
+// tracedRun executes one workload on the WaveCache with a fully enabled
+// tracer (events + metrics) attached, returning the simulation result and
+// the tracer.
+func tracedRun(t *testing.T, c *Compiled, m MachineOptions, faultSpec string) (wavecache.Result, *trace.Tracer) {
+	t.Helper()
+	cfg := m.WaveConfig()
+	if faultSpec != "" {
+		fc, err := fault.ParseSpec(faultSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc.Seed = 7
+		cfg.Faults = fc
+		cfg.Machine.Defective = fault.DefectMap(fc, cfg.Machine.NumPEs())
+	}
+	pol, err := placement.New(m.Policy, cfg.Machine, c.Wave, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(trace.Config{Events: true})
+	cfg.Tracer = tr
+	res, err := wavecache.Run(c.Wave, placement.Traced(pol, tr), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, tr
+}
+
+// untracedRun is the same simulation with tracing fully disabled.
+func untracedRun(t *testing.T, c *Compiled, m MachineOptions, faultSpec string) wavecache.Result {
+	t.Helper()
+	cfg := m.WaveConfig()
+	if faultSpec != "" {
+		fc, err := fault.ParseSpec(faultSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc.Seed = 7
+		cfg.Faults = fc
+		cfg.Machine.Defective = fault.DefectMap(fc, cfg.Machine.NumPEs())
+	}
+	pol, err := placement.New(m.Policy, cfg.Machine, c.Wave, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wavecache.Run(c.Wave, pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTracingDoesNotPerturbSimulation: attaching a tracer (even with the
+// event stream enabled) must leave the simulation's Result bit-identical
+// to an untraced run — tracing observes the event processing order, it
+// never schedules anything. Checked on clean and faulty configurations.
+func TestTracingDoesNotPerturbSimulation(t *testing.T) {
+	set := quickSet(t)
+	m := quickMachine()
+	for _, spec := range []string{"", "defect=0.05,drop=0.02,retries=4"} {
+		spec := spec
+		name := "clean"
+		if spec != "" {
+			name = "faulty"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, c := range set {
+				base := untracedRun(t, c, m, spec)
+				traced, _ := tracedRun(t, c, m, spec)
+				if !reflect.DeepEqual(base, traced) {
+					t.Errorf("%s: traced result differs from untraced:\n%+v\n%+v",
+						c.Name, base, traced)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceStreamDeterministic: for a fixed (program, policy, config,
+// fault seed), two traced runs must export byte-identical JSONL and
+// Chrome traces, and render identical metrics summaries.
+func TestTraceStreamDeterministic(t *testing.T) {
+	set := quickSet(t)
+	m := quickMachine()
+	for _, spec := range []string{"", "defect=0.05,drop=0.02,retries=4"} {
+		spec := spec
+		name := "clean"
+		if spec != "" {
+			name = "faulty"
+		}
+		t.Run(name, func(t *testing.T) {
+			c := set[0]
+			_, tr1 := tracedRun(t, c, m, spec)
+			_, tr2 := tracedRun(t, c, m, spec)
+			var j1, j2 bytes.Buffer
+			if err := tr1.WriteJSONL(&j1); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr2.WriteJSONL(&j2); err != nil {
+				t.Fatal(err)
+			}
+			if j1.Len() == 0 {
+				t.Fatal("empty event stream")
+			}
+			if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+				t.Error("JSONL event streams differ between identical runs")
+			}
+			var c1, c2 bytes.Buffer
+			if err := tr1.WriteChromeTrace(&c1); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr2.WriteChromeTrace(&c2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+				t.Error("Chrome traces differ between identical runs")
+			}
+			s1 := tr1.Metrics().Summary("m").Render()
+			s2 := tr2.Metrics().Summary("m").Render()
+			if s1 != s2 {
+				t.Errorf("metrics summaries differ:\n%s\n%s", s1, s2)
+			}
+		})
+	}
+}
+
+// TestMetricsWorkerCountInvariance: an experiment's aggregated metrics
+// summary must be byte-identical at any worker count (the Aggregate merge
+// is commutative), and enabling metrics must leave the experiment table
+// itself untouched.
+func TestMetricsWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is slow")
+	}
+	set := quickSet(t)
+	e := ExperimentByID("E1")
+
+	base := quickMachine()
+	base.Workers = 1
+	plain, err := e.Run(set, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(workers int) (string, string) {
+		m := quickMachine()
+		m.Workers = workers
+		m.Metrics = trace.NewAggregate()
+		tbl, err := e.Run(set, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		WriteMetrics(e.ID, m, &sb)
+		return tbl.Render(), sb.String()
+	}
+	t1, m1 := render(1)
+	t8, m8 := render(8)
+	if t1 != plain.Render() {
+		t.Errorf("enabling metrics changed the experiment table:\n--- plain ---\n%s\n--- metrics ---\n%s",
+			plain.Render(), t1)
+	}
+	if t1 != t8 {
+		t.Error("experiment tables differ between -j 1 and -j 8 with metrics on")
+	}
+	if m1 == "" {
+		t.Fatal("metrics summary empty")
+	}
+	if m1 != m8 {
+		t.Errorf("metrics summaries differ between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", m1, m8)
+	}
+}

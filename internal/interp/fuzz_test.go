@@ -128,7 +128,11 @@ func TestDifferentialFuzz(t *testing.T) {
 			// Timing engines on the optimized variant only (they are slow).
 			if v.name == "opt" {
 				cfg := wavecache.DefaultConfig(2, 2)
-				res, mem2, err := wavecache.RunWithMemory(wp, placement.NewDynamicSnake(cfg.Machine), cfg)
+				pol, err := placement.NewDynamicSnake(cfg.Machine)
+				if err != nil {
+					t.Fatalf("seed %d: placement: %v", seed, err)
+				}
+				res, mem2, err := wavecache.RunWithMemory(wp, pol, cfg)
 				if err != nil {
 					t.Fatalf("seed %d: wavecache: %v\n%s", seed, err, src)
 				}

@@ -6,7 +6,11 @@
 // single place to ask "how long until this operand arrives?".
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"wavescalar/internal/trace"
+)
 
 // Config holds the operand-network latencies from the published WaveScalar
 // processor table.
@@ -90,12 +94,17 @@ type Network struct {
 	cfg    Config
 	links  map[int32]*linkState // keyed by (router, direction)
 	stats  Stats
-	faults FaultModel // nil = perfect network
+	faults FaultModel    // nil = perfect network
+	tr     *trace.Tracer // nil = tracing disabled
 }
 
 // AttachFaults installs a transient-fault model consulted by SendReliable.
 // Pass nil to restore the perfect network.
 func (n *Network) AttachFaults(fm FaultModel) { n.faults = fm }
+
+// AttachTracer installs the structured tracing sink (nil disables it);
+// message-level and link-level counters are recorded per Send.
+func (n *Network) AttachTracer(tr *trace.Tracer) { n.tr = tr }
 
 // New builds a network.
 func New(cfg Config) (*Network, error) {
@@ -155,21 +164,28 @@ func (n *Network) Send(src, dst Loc, now int64) int64 {
 	switch {
 	case src.Cluster == dst.Cluster && src.Domain == dst.Domain && src.Pod == dst.Pod:
 		n.stats.PodLocal++
+		n.tr.NetMsg(now, trace.LevelPod)
 		return now + n.cfg.IntraPod
 	case src.Cluster == dst.Cluster && src.Domain == dst.Domain:
 		n.stats.DomainHops++
+		n.tr.NetMsg(now, trace.LevelDomain)
 		return now + n.cfg.IntraDomain
 	case src.Cluster == dst.Cluster:
 		n.stats.ClusterBus++
+		n.tr.NetMsg(now, trace.LevelCluster)
 		return now + n.cfg.IntraCluster
 	}
 	n.stats.MeshMsgs++
+	n.tr.NetMsg(now, trace.LevelMesh)
 	t := now + n.cfg.InterClusterBase
 	cur := src.Cluster
 	for cur != dst.Cluster {
 		next := n.nextDimOrder(cur, dst.Cluster)
-		t = n.acquireLink(cur, next, t)
-		t += n.cfg.LinkLatency
+		granted := n.acquireLink(cur, next, t)
+		if n.tr != nil {
+			n.tr.LinkHop(t, cur, linkDir(cur, next, n.cfg.Width), granted-t)
+		}
+		t = granted + n.cfg.LinkLatency
 		n.stats.MeshHops++
 		cur = next
 	}
@@ -198,6 +214,7 @@ func (n *Network) SendReliable(src, dst Loc, now int64) (int64, error) {
 			return n.Send(src, dst, send) + delay, nil
 		}
 		n.stats.Drops++
+		n.tr.Drop(send, -1)
 		if attempt >= n.faults.MaxRetries() {
 			return 0, fmt.Errorf("noc: message %v -> %v injected at cycle %d lost after %d attempts",
 				src, dst, now, attempt+1)
@@ -205,6 +222,7 @@ func (n *Network) SendReliable(src, dst Loc, now int64) (int64, error) {
 		wait := n.faults.Timeout(attempt)
 		n.stats.Retries++
 		n.stats.RetryWaitCycles += uint64(wait)
+		n.tr.Retry(send, -1, wait)
 		send += wait
 	}
 }

@@ -1,9 +1,11 @@
 package placement
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"wavescalar/internal/fault"
 	"wavescalar/internal/isa"
 	"wavescalar/internal/profile"
 )
@@ -136,6 +138,44 @@ func TestNewValidatesDefectMap(t *testing.T) {
 	if _, err := New("dynamic-snake", m, wp, 1); err == nil ||
 		!strings.Contains(err.Error(), "usable") {
 		t.Fatalf("all-defective map: err = %v", err)
+	}
+}
+
+// TestAllDefectiveGridRejected: every constructor — not just the New
+// dispatcher — must return a structured config error when the defect map
+// disables the whole grid, instead of panicking "no usable PE found" on
+// the first Assign.
+func TestAllDefectiveGridRejected(t *testing.T) {
+	wp := testProgram(t)
+	m := DefaultMachine(1, 1)
+	m.Defective = make([]bool, m.NumPEs())
+	for i := range m.Defective {
+		m.Defective[i] = true
+	}
+	ctors := map[string]func() (Policy, error){
+		"dynamic-snake":    func() (Policy, error) { return NewDynamicSnake(m) },
+		"static-snake":     func() (Policy, error) { return NewStaticSnake(m, wp) },
+		"depthfirst-snake": func() (Policy, error) { return NewDepthFirstSnake(m, wp) },
+		"dynamic-dfs":      func() (Policy, error) { return NewDynamicDFS(m, wp) },
+		"random":           func() (Policy, error) { return NewRandom(m, 1) },
+		"packed-random":    func() (Policy, error) { return NewPackedRandom(m, 1) },
+	}
+	for name, ctor := range ctors {
+		pol, err := ctor()
+		if err == nil {
+			t.Errorf("%s: all-defective grid accepted", name)
+			continue
+		}
+		if pol != nil {
+			t.Errorf("%s: non-nil policy alongside error", name)
+		}
+		var fe *fault.FaultError
+		if !errors.As(err, &fe) || fe.Kind != fault.KindConfig {
+			t.Errorf("%s: err = %v, want *fault.FaultError with KindConfig", name, err)
+		}
+		if !strings.Contains(err.Error(), "usable") {
+			t.Errorf("%s: error %q does not explain the defect map", name, err)
+		}
 	}
 }
 

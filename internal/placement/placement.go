@@ -10,9 +10,11 @@ package placement
 import (
 	"fmt"
 
+	"wavescalar/internal/fault"
 	"wavescalar/internal/isa"
 	"wavescalar/internal/noc"
 	"wavescalar/internal/profile"
+	"wavescalar/internal/trace"
 )
 
 // Machine describes the PE topology placement targets.
@@ -112,6 +114,35 @@ type Reconfigurable interface {
 	MarkDefective(pe int) error
 }
 
+// validateMachine rejects machines no policy can place onto: a degenerate
+// topology, a defect map that does not match the PE count, or one that
+// leaves no PE usable. Every constructor calls it, so a successfully
+// constructed policy always has at least one usable PE — the invariant
+// that keeps Assign total. Failures are structured configuration faults.
+func validateMachine(m Machine) error {
+	if m.NumPEs() < 1 {
+		return &fault.FaultError{Kind: fault.KindConfig, PE: -1,
+			Detail: fmt.Sprintf("placement: machine has no PEs (%dx%d grid, %d per cluster)",
+				m.GridW, m.GridH, m.PEsPerCluster())}
+	}
+	if m.Capacity < 1 {
+		return &fault.FaultError{Kind: fault.KindConfig, PE: -1,
+			Detail: fmt.Sprintf("placement: non-positive PE capacity %d", m.Capacity)}
+	}
+	if m.Defective != nil {
+		if len(m.Defective) != m.NumPEs() {
+			return &fault.FaultError{Kind: fault.KindConfig, PE: -1,
+				Detail: fmt.Sprintf("placement: defect map has %d entries for %d PEs",
+					len(m.Defective), m.NumPEs())}
+		}
+		if m.UsablePEs() == 0 {
+			return &fault.FaultError{Kind: fault.KindConfig, PE: -1,
+				Detail: fmt.Sprintf("placement: no usable PEs (all %d defective)", m.NumPEs())}
+		}
+	}
+	return nil
+}
+
 // fill allocates PE slots along an arbitrary PE order, Capacity per PE,
 // wrapping when the machine is exhausted and skipping defective PEs.
 type fill struct {
@@ -137,7 +168,11 @@ func (f *fill) dead(pe int) bool {
 
 // take allocates the next instruction home, skipping dead PEs by jumping to
 // the next PE boundary along the order. At least one usable PE is
-// guaranteed by New and markDefective, which bounds the scan.
+// guaranteed by validateMachine (at construction) and markDefective
+// (mid-run), which bounds the scan; should that invariant ever break, take
+// falls back to a deterministic linear scan for any live PE rather than
+// panicking, so a library bug degrades a result instead of crashing the
+// caller's process.
 func (f *fill) take() int {
 	n := f.m.NumPEs()
 	for skips := 0; skips <= n; skips++ {
@@ -149,7 +184,12 @@ func (f *fill) take() int {
 		f.next++
 		return pe
 	}
-	panic("placement: internal invariant violated: no usable PE found")
+	for pe := 0; pe < n; pe++ {
+		if !f.dead(pe) {
+			return pe
+		}
+	}
+	return 0
 }
 
 func (f *fill) markDefective(pe int) error {
@@ -195,10 +235,13 @@ type dynamicSnake struct {
 }
 
 // NewDynamicSnake builds the policy.
-func NewDynamicSnake(m Machine) Policy {
+func NewDynamicSnake(m Machine) (Policy, error) {
+	if err := validateMachine(m); err != nil {
+		return nil, err
+	}
 	ds := &dynamicSnake{homes: make(map[profile.InstrRef]int)}
 	ds.fill = newFill(m, m.SnakePE)
-	return ds
+	return ds, nil
 }
 
 func (d *dynamicSnake) Name() string { return "dynamic-snake" }
@@ -231,7 +274,10 @@ type staticSnake struct {
 }
 
 // NewStaticSnake precomputes the placement for a program.
-func NewStaticSnake(m Machine, p *isa.Program) Policy {
+func NewStaticSnake(m Machine, p *isa.Program) (Policy, error) {
+	if err := validateMachine(m); err != nil {
+		return nil, err
+	}
 	s := &staticSnake{homes: make(map[profile.InstrRef]int)}
 	s.fill = newFill(m, m.SnakePE)
 	for fi := range p.Funcs {
@@ -239,7 +285,7 @@ func NewStaticSnake(m Machine, p *isa.Program) Policy {
 			s.homes[profile.InstrRef{Func: isa.FuncID(fi), Instr: isa.InstrID(ii)}] = s.take()
 		}
 	}
-	return s
+	return s, nil
 }
 
 func (s *staticSnake) Name() string { return "static-snake" }
@@ -300,7 +346,10 @@ type depthFirstSnake struct {
 }
 
 // NewDepthFirstSnake precomputes the placement.
-func NewDepthFirstSnake(m Machine, p *isa.Program) Policy {
+func NewDepthFirstSnake(m Machine, p *isa.Program) (Policy, error) {
+	if err := validateMachine(m); err != nil {
+		return nil, err
+	}
 	s := &depthFirstSnake{homes: make(map[profile.InstrRef]int)}
 	s.fill = newFill(m, m.SnakePE)
 	for fi := range p.Funcs {
@@ -310,7 +359,7 @@ func NewDepthFirstSnake(m Machine, p *isa.Program) Policy {
 			}
 		}
 	}
-	return s
+	return s, nil
 }
 
 func (s *depthFirstSnake) Name() string { return "depth-first-snake" }
@@ -346,7 +395,10 @@ type dynamicDFS struct {
 }
 
 // NewDynamicDFS builds the policy for a program.
-func NewDynamicDFS(m Machine, p *isa.Program) Policy {
+func NewDynamicDFS(m Machine, p *isa.Program) (Policy, error) {
+	if err := validateMachine(m); err != nil {
+		return nil, err
+	}
 	d := &dynamicDFS{
 		homes:   make(map[profile.InstrRef]int),
 		chainOf: make(map[profile.InstrRef][]isa.InstrID),
@@ -359,7 +411,7 @@ func NewDynamicDFS(m Machine, p *isa.Program) Policy {
 			}
 		}
 	}
-	return d
+	return d, nil
 }
 
 func (d *dynamicDFS) Name() string { return "dynamic-depth-first-snake" }
@@ -399,13 +451,16 @@ type randomPolicy struct {
 }
 
 // NewRandom builds a seeded random placement.
-func NewRandom(m Machine, seed uint64) Policy {
+func NewRandom(m Machine, seed uint64) (Policy, error) {
+	if err := validateMachine(m); err != nil {
+		return nil, err
+	}
 	r := &randomPolicy{m: m, state: seed | 1, homes: make(map[profile.InstrRef]int),
 		usable: m.UsablePEs()}
 	if m.Defective != nil {
 		r.defective = append([]bool(nil), m.Defective...)
 	}
-	return r
+	return r, nil
 }
 
 func (r *randomPolicy) Name() string { return "random" }
@@ -467,7 +522,10 @@ type packedRandom struct {
 }
 
 // NewPackedRandom builds the policy.
-func NewPackedRandom(m Machine, seed uint64) Policy {
+func NewPackedRandom(m Machine, seed uint64) (Policy, error) {
+	if err := validateMachine(m); err != nil {
+		return nil, err
+	}
 	perm := make([]int, m.NumPEs())
 	for i := range perm {
 		perm[i] = i
@@ -480,7 +538,7 @@ func NewPackedRandom(m Machine, seed uint64) Policy {
 	}
 	pr := &packedRandom{homes: make(map[profile.InstrRef]int)}
 	pr.fill = newFill(m, func(i int) int { return perm[i] })
-	return pr
+	return pr, nil
 }
 
 func (p *packedRandom) Name() string { return "packed-random" }
@@ -503,33 +561,62 @@ func (p *packedRandom) MarkDefective(pe int) error {
 }
 
 // New constructs a policy by name; prog may be nil for policies that do not
-// inspect the program. A defect map on the machine is validated here: it
-// must match the PE count and leave at least one PE usable.
+// inspect the program. The machine is validated by the constructor: a
+// defect map must match the PE count and leave at least one PE usable, so
+// an all-defective grid is a structured configuration error here rather
+// than a failure mid-placement.
 func New(name string, m Machine, prog *isa.Program, seed uint64) (Policy, error) {
-	if m.Defective != nil {
-		if len(m.Defective) != m.NumPEs() {
-			return nil, fmt.Errorf("placement: defect map has %d entries for %d PEs",
-				len(m.Defective), m.NumPEs())
-		}
-		if m.UsablePEs() == 0 {
-			return nil, fmt.Errorf("placement: no usable PEs (all %d defective)", m.NumPEs())
-		}
-	}
 	switch name {
 	case "dynamic-snake":
-		return NewDynamicSnake(m), nil
+		return NewDynamicSnake(m)
 	case "static-snake":
-		return NewStaticSnake(m, prog), nil
+		return NewStaticSnake(m, prog)
 	case "depth-first-snake":
-		return NewDepthFirstSnake(m, prog), nil
+		return NewDepthFirstSnake(m, prog)
 	case "dynamic-depth-first-snake":
-		return NewDynamicDFS(m, prog), nil
+		return NewDynamicDFS(m, prog)
 	case "random":
-		return NewRandom(m, seed), nil
+		return NewRandom(m, seed)
 	case "packed-random":
-		return NewPackedRandom(m, seed), nil
+		return NewPackedRandom(m, seed)
 	}
 	return nil, fmt.Errorf("placement: unknown policy %q", name)
+}
+
+// Traced wraps a policy so every fresh home assignment — and every
+// migration after a PE death — is recorded in the tracer as a placement
+// event. With a nil tracer the policy is returned unwrapped, so the
+// disabled path costs nothing. The wrapper preserves Reconfigurable.
+func Traced(pol Policy, tr *trace.Tracer) Policy {
+	if tr == nil {
+		return pol
+	}
+	return &traced{pol: pol, tr: tr, seen: make(map[profile.InstrRef]int)}
+}
+
+type traced struct {
+	pol  Policy
+	tr   *trace.Tracer
+	seen map[profile.InstrRef]int
+}
+
+func (t *traced) Name() string { return t.pol.Name() }
+
+func (t *traced) Assign(ref profile.InstrRef) int {
+	pe := t.pol.Assign(ref)
+	if prev, ok := t.seen[ref]; !ok || prev != pe {
+		t.seen[ref] = pe
+		t.tr.Place(int(ref.Func), int(ref.Instr), pe)
+	}
+	return pe
+}
+
+func (t *traced) MarkDefective(pe int) error {
+	rc, ok := t.pol.(Reconfigurable)
+	if !ok {
+		return fmt.Errorf("placement: policy %q is not reconfigurable", t.pol.Name())
+	}
+	return rc.MarkDefective(pe)
 }
 
 // Names lists the available policies.

@@ -33,6 +33,14 @@ func testProgram(t *testing.T) *isa.Program {
 	return wp
 }
 
+// must unwraps a constructor whose machine the test knows to be valid.
+func must(pol Policy, err error) Policy {
+	if err != nil {
+		panic(err)
+	}
+	return pol
+}
+
 func TestMachineGeometry(t *testing.T) {
 	m := DefaultMachine(4, 4)
 	if m.NumClusters() != 16 || m.PEsPerCluster() != 32 || m.NumPEs() != 512 {
@@ -122,7 +130,7 @@ func TestPoliciesAreStableAndInRange(t *testing.T) {
 func TestDynamicSnakePacksInOrder(t *testing.T) {
 	m := DefaultMachine(1, 1)
 	m.Capacity = 2
-	pol := NewDynamicSnake(m)
+	pol := must(NewDynamicSnake(m))
 	r := func(i int) profile.InstrRef { return profile.InstrRef{Func: 0, Instr: isa.InstrID(i)} }
 	// First two references share PE snake(0); next two share snake(1).
 	p0, p1, p2, p3 := pol.Assign(r(10)), pol.Assign(r(5)), pol.Assign(r(99)), pol.Assign(r(1))
@@ -137,7 +145,7 @@ func TestDynamicSnakePacksInOrder(t *testing.T) {
 func TestDepthFirstKeepsChainsTogether(t *testing.T) {
 	wp := testProgram(t)
 	m := DefaultMachine(4, 4) // plenty of room
-	pol := NewDepthFirstSnake(m, wp)
+	pol := must(NewDepthFirstSnake(m, wp))
 	// A producer and its first consumer should usually share a PE. Count
 	// how many dataflow edges stay intra-PE and require a majority.
 	intra, total := 0, 0
@@ -163,7 +171,7 @@ func TestDepthFirstKeepsChainsTogether(t *testing.T) {
 	}
 
 	// Random placement on the same program should do much worse.
-	rnd := NewRandom(m, 7)
+	rnd := must(NewRandom(m, 7))
 	rintra := 0
 	for fi := range wp.Funcs {
 		f := &wp.Funcs[fi]
@@ -185,7 +193,7 @@ func TestDynamicDFSPlacesWholeChain(t *testing.T) {
 	wp := testProgram(t)
 	m := DefaultMachine(1, 1)
 	m.Capacity = 8
-	pol := NewDynamicDFS(m, wp).(*dynamicDFS)
+	pol := must(NewDynamicDFS(m, wp)).(*dynamicDFS)
 	ref := profile.InstrRef{Func: wp.Entry, Instr: 0}
 	pol.Assign(ref)
 	chain := pol.chainOf[ref]
@@ -202,8 +210,8 @@ func TestDynamicDFSPlacesWholeChain(t *testing.T) {
 func TestRandomDeterministicPerSeed(t *testing.T) {
 	m := DefaultMachine(2, 2)
 	prop := func(seed uint64, instr uint8) bool {
-		a := NewRandom(m, seed)
-		b := NewRandom(m, seed)
+		a := must(NewRandom(m, seed))
+		b := must(NewRandom(m, seed))
 		ref := profile.InstrRef{Func: 0, Instr: isa.InstrID(instr)}
 		return a.Assign(ref) == b.Assign(ref)
 	}
@@ -215,7 +223,7 @@ func TestRandomDeterministicPerSeed(t *testing.T) {
 func TestPackedRandomFills(t *testing.T) {
 	m := DefaultMachine(2, 1)
 	m.Capacity = 4
-	pol := NewPackedRandom(m, 99)
+	pol := must(NewPackedRandom(m, 99))
 	counts := make(map[int]int)
 	for i := 0; i < 4*m.NumPEs(); i++ {
 		pe := pol.Assign(profile.InstrRef{Func: 0, Instr: isa.InstrID(i)})
@@ -241,7 +249,7 @@ func TestNewUnknownPolicy(t *testing.T) {
 func TestFillWrapsAround(t *testing.T) {
 	m := DefaultMachine(1, 1)
 	m.Capacity = 1
-	pol := NewDynamicSnake(m)
+	pol := must(NewDynamicSnake(m))
 	n := m.NumPEs()
 	first := pol.Assign(profile.InstrRef{Func: 0, Instr: 0})
 	for i := 1; i < n; i++ {

@@ -116,8 +116,12 @@ type FixedPolicy struct {
 }
 
 // NewFixedPolicy wraps a layout.
-func NewFixedPolicy(name string, l Layout, m placement.Machine) *FixedPolicy {
-	return &FixedPolicy{name: name, layout: l, fallback: placement.NewDynamicSnake(m)}
+func NewFixedPolicy(name string, l Layout, m placement.Machine) (*FixedPolicy, error) {
+	fb, err := placement.NewDynamicSnake(m)
+	if err != nil {
+		return nil, err
+	}
+	return &FixedPolicy{name: name, layout: l, fallback: fb}, nil
 }
 
 // Name identifies the policy.

@@ -206,7 +206,10 @@ func TestOptimizeImprovesRealPerformance(t *testing.T) {
 	simCfg.PEStore = 8
 	simCfg.InputQueue = 1 << 30
 
-	seedPol := placement.NewRandom(m, 7)
+	seedPol, err := placement.NewRandom(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	seedRes, err := wavecache.Run(wp, seedPol, simCfg)
 	if err != nil {
 		t.Fatal(err)
@@ -220,7 +223,11 @@ func TestOptimizeImprovesRealPerformance(t *testing.T) {
 		t.Fatalf("optimizer worsened both dominant components: %+v -> %+v", seedScore, optScore)
 	}
 
-	optRes, err := wavecache.Run(wp, NewFixedPolicy("model-opt", opt, m), simCfg)
+	optPol, err := NewFixedPolicy("model-opt", opt, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRes, err := wavecache.Run(wp, optPol, simCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +244,10 @@ func TestOptimizeImprovesRealPerformance(t *testing.T) {
 
 func TestFixedPolicyFallback(t *testing.T) {
 	m := placement.DefaultMachine(1, 1)
-	pol := NewFixedPolicy("fixed", Layout{{Func: 0, Instr: 1}: 5}, m)
+	pol, err := NewFixedPolicy("fixed", Layout{{Func: 0, Instr: 1}: 5}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pol.Name() != "fixed" {
 		t.Error("name wrong")
 	}

@@ -21,16 +21,19 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// GeoMean returns the geometric mean of positive values (0 if any value is
-// non-positive or the input is empty).
+// GeoMean returns the geometric mean of positive values. The geometric
+// mean is undefined for an empty series or one containing a non-positive
+// value; those cases return NaN — an explicit "no answer" that Table
+// renders as "n/a" — rather than a silent 0 that could masquerade as a
+// real (terrible) geomean in a results table.
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	s := 0.0
 	for _, x := range xs {
 		if x <= 0 {
-			return 0
+			return math.NaN()
 		}
 		s += math.Log(x)
 	}
@@ -88,8 +91,13 @@ func (t *Table) AddRow(cells ...any) {
 }
 
 // FormatFloat renders a float compactly: 3 significant-ish decimals for
-// small magnitudes, fewer for large.
+// small magnitudes, fewer for large. NaN — the "undefined" marker from
+// GeoMean and friends — renders as "n/a" so tables never print a bogus
+// numeric value for an undefined statistic.
 func FormatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
 	switch a := math.Abs(v); {
 	case a != 0 && a < 0.01:
 		return fmt.Sprintf("%.4f", v)

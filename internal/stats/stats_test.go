@@ -17,14 +17,18 @@ func TestMean(t *testing.T) {
 }
 
 func TestGeoMean(t *testing.T) {
-	if GeoMean(nil) != 0 {
-		t.Error("GeoMean(nil) != 0")
+	if got := GeoMean(nil); !math.IsNaN(got) {
+		t.Errorf("GeoMean(nil) = %v, want NaN", got)
 	}
 	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
 		t.Errorf("GeoMean = %v, want 2", got)
 	}
-	if GeoMean([]float64{1, -1}) != 0 {
-		t.Error("GeoMean should reject non-positive values")
+	// Non-positive inputs make the geomean undefined; it must be an explicit
+	// NaN, never a silent 0 that could be mistaken for a real value.
+	for _, xs := range [][]float64{{1, -1}, {0, 2}, {-3}} {
+		if got := GeoMean(xs); !math.IsNaN(got) {
+			t.Errorf("GeoMean(%v) = %v, want NaN", xs, got)
+		}
 	}
 }
 
@@ -45,7 +49,20 @@ func TestPearsonDegenerate(t *testing.T) {
 		t.Error("length mismatch should give 0")
 	}
 	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
-		t.Error("constant series should give 0")
+		t.Error("constant xs should give 0")
+	}
+	if Pearson([]float64{1, 2, 3}, []float64{5, 5, 5}) != 0 {
+		t.Error("constant ys should give 0")
+	}
+	if Pearson(nil, nil) != 0 {
+		t.Error("empty series should give 0")
+	}
+	if Pearson([]float64{7}, []float64{9}) != 0 {
+		t.Error("single-point series should give 0")
+	}
+	// Degenerate inputs must yield a clean 0, never NaN leaking from 0/0.
+	if got := Pearson([]float64{2, 2}, []float64{3, 3}); math.IsNaN(got) || got != 0 {
+		t.Errorf("both-constant series = %v, want 0", got)
 	}
 }
 
@@ -89,6 +106,31 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+// TestTableNARendering checks that an undefined statistic (NaN, e.g. a
+// GeoMean over a series with non-positive values) renders as "n/a" and
+// that the cell still participates in column alignment.
+func TestTableNARendering(t *testing.T) {
+	tb := NewTable("NA", "bench", "speedup")
+	tb.AddRow("ok", 2.5)
+	tb.AddRow("geomean", GeoMean([]float64{1, -1}))
+	out := tb.Render()
+	if !strings.Contains(out, "n/a") {
+		t.Fatalf("NaN cell not rendered as n/a:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("raw NaN leaked into the table:\n%s", out)
+	}
+	// Every data row must be exactly as wide as the header row: the n/a
+	// cell is right-aligned into the column like any numeric cell.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	hdr := lines[2] // title, ===, header
+	for _, l := range lines[4:] {
+		if len(l) != len(hdr) {
+			t.Errorf("row %q width %d, header width %d:\n%s", l, len(l), len(hdr), out)
+		}
+	}
+}
+
 func TestTableCSV(t *testing.T) {
 	tb := NewTable("x", "a", "b")
 	tb.AddRow(1, 2)
@@ -110,5 +152,8 @@ func TestFormatFloat(t *testing.T) {
 		if got := FormatFloat(in); got != want {
 			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
 		}
+	}
+	if got := FormatFloat(math.NaN()); got != "n/a" {
+		t.Errorf("FormatFloat(NaN) = %q, want n/a", got)
 	}
 }

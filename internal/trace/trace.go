@@ -1,0 +1,689 @@
+// Package trace is the structured observability layer for the WaveCache
+// simulator: per-cycle counters (PE occupancy by domain and cluster,
+// operand-queue depths, mesh-link utilization, store-buffer ordering
+// stalls, fault-recovery retries) and an optional event stream exportable
+// as JSONL or the Chrome trace_event format (chrome://tracing).
+//
+// The layer is zero-cost when disabled: every Tracer method is safe on a
+// nil receiver and returns immediately, performing no allocation, so the
+// simulators thread a possibly-nil *Tracer through their hot paths and a
+// run without tracing is bit-identical to a build without the package
+// (TestDisabledTracerZeroAlloc and the harness differential suites prove
+// it).
+//
+// Determinism contract: the simulator emits trace calls in its
+// discrete-event processing order, which is a pure function of (program,
+// policy construction, config, fault seed). The recorded event stream and
+// the metrics summary are therefore reproducible bit-for-bit for a fixed
+// seed; aggregation across experiment cells (Aggregate) uses only
+// commutative merges (sums, maxes, keyed additions) so summaries are also
+// invariant to worker count and completion order.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"wavescalar/internal/stats"
+)
+
+// Kind classifies one recorded event.
+type Kind uint8
+
+const (
+	// KindToken: an operand token was delivered to a PE (A = queue depth
+	// after delivery).
+	KindToken Kind = iota
+	// KindFire: an instruction fired at a PE (A = cluster, B = domain).
+	KindFire
+	// KindSwap: an instruction was demand-swapped into a PE store.
+	KindSwap
+	// KindOverflow: a PE matching table spilled (queue-overflow penalty).
+	KindOverflow
+	// KindPlace: the placement policy homed (or migrated) an instruction
+	// (A = function, B = instruction; PE = assigned home).
+	KindPlace
+	// KindMemSubmit: a memory request reached its store buffer
+	// (A = ordering-engine pending depth after arrival).
+	KindMemSubmit
+	// KindMemIssue: the ordering engine released a request to the cache
+	// (A = memory-op kind, B = ordering stall in cycles).
+	KindMemIssue
+	// KindWaveDone: a dynamic wave's memory sequence completed
+	// (A = context, B = wave number).
+	KindWaveDone
+	// KindRetry: a lost message was retransmitted (A = ack-timeout wait).
+	KindRetry
+	// KindDrop: a message attempt was lost in transit.
+	KindDrop
+	// KindKill: a PE died mid-run.
+	KindKill
+)
+
+var kindNames = [...]string{
+	KindToken:     "token",
+	KindFire:      "fire",
+	KindSwap:      "swap",
+	KindOverflow:  "overflow",
+	KindPlace:     "place",
+	KindMemSubmit: "mem-submit",
+	KindMemIssue:  "mem-issue",
+	KindWaveDone:  "wave-done",
+	KindRetry:     "retry",
+	KindDrop:      "drop",
+	KindKill:      "kill",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded simulation event. A and B are kind-specific
+// payloads (see the Kind constants).
+type Event struct {
+	T    int64
+	Kind Kind
+	PE   int32
+	A, B int64
+}
+
+// Network levels for NetMsg.
+const (
+	LevelPod = iota
+	LevelDomain
+	LevelCluster
+	LevelMesh
+)
+
+// Config parameterizes a Tracer. The zero value records metrics only.
+type Config struct {
+	// Events enables the event stream (JSONL / Chrome export). Metrics
+	// are always collected on a non-nil Tracer.
+	Events bool
+	// SampleInterval is the bucket width, in cycles, of the per-cycle
+	// counter series (default 64).
+	SampleInterval int64
+	// MaxEvents bounds the event buffer (default 1<<20); events beyond
+	// it are dropped and counted in Metrics.EventsDropped — the cap is
+	// never silent.
+	MaxEvents int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 64
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 1 << 20
+	}
+	return c
+}
+
+// Bucket is one sample of the per-cycle counter series: everything that
+// happened in [i*Interval, (i+1)*Interval) cycles. Counters are sums over
+// the bucket; Max* fields are high-water marks within it.
+type Bucket struct {
+	Fires, Tokens, Swaps, Overflows int64
+	MeshMsgs, LinkStall             int64
+	MemSubmits, MemIssues           int64
+	OrderStall                      int64
+	Retries, Drops                  int64
+	MaxQueue, MaxPending            int64
+}
+
+// DomKey identifies a domain within a cluster.
+type DomKey struct {
+	Cluster, Domain int
+}
+
+// LinkKey identifies a directed mesh link (router index, direction 0-3:
+// east, west, south, north).
+type LinkKey struct {
+	Router, Dir int
+}
+
+// LinkUse is per-link utilization.
+type LinkUse struct {
+	Msgs        uint64
+	StallCycles uint64
+}
+
+// Metrics is the aggregate counter set a run (or a merged set of runs)
+// produced. All fields merge commutatively, so summaries are independent
+// of merge order.
+type Metrics struct {
+	Runs   int64
+	Cycles int64 // simulated cycles, summed across runs
+
+	// Execution.
+	Fires, Tokens, Swaps, Overflows uint64
+	MaxQueueDepth                   int64
+	PEFires                         []uint64 // firings by PE (occupancy)
+	ClusterFires                    []uint64 // firings by cluster
+	DomainFires                     map[DomKey]uint64
+
+	// Operand network.
+	PodMsgs, DomainMsgs, ClusterMsgs, MeshMsgs uint64
+	MeshHops                                   uint64
+	LinkStallCycles                            uint64
+	Links                                      map[LinkKey]LinkUse
+
+	// Wave-ordered memory.
+	MemSubmitted, MemIssued uint64
+	OrderStallCycles        uint64
+	MaxPending              int64
+	WavesDone               uint64
+
+	// Fault recovery.
+	Drops, Retries  uint64
+	RetryWaitCycles uint64
+	PEKills         uint64
+
+	// Placement.
+	Placements uint64
+
+	// EventsDropped counts events beyond Config.MaxEvents.
+	EventsDropped uint64
+}
+
+// Merge folds o into m (commutative: sums, maxes, keyed additions).
+func (m *Metrics) Merge(o *Metrics) {
+	m.Runs += o.Runs
+	m.Cycles += o.Cycles
+	m.Fires += o.Fires
+	m.Tokens += o.Tokens
+	m.Swaps += o.Swaps
+	m.Overflows += o.Overflows
+	if o.MaxQueueDepth > m.MaxQueueDepth {
+		m.MaxQueueDepth = o.MaxQueueDepth
+	}
+	m.PEFires = mergeCounts(m.PEFires, o.PEFires)
+	m.ClusterFires = mergeCounts(m.ClusterFires, o.ClusterFires)
+	for k, v := range o.DomainFires {
+		if m.DomainFires == nil {
+			m.DomainFires = make(map[DomKey]uint64)
+		}
+		m.DomainFires[k] += v
+	}
+	m.PodMsgs += o.PodMsgs
+	m.DomainMsgs += o.DomainMsgs
+	m.ClusterMsgs += o.ClusterMsgs
+	m.MeshMsgs += o.MeshMsgs
+	m.MeshHops += o.MeshHops
+	m.LinkStallCycles += o.LinkStallCycles
+	for k, v := range o.Links {
+		if m.Links == nil {
+			m.Links = make(map[LinkKey]LinkUse)
+		}
+		u := m.Links[k]
+		u.Msgs += v.Msgs
+		u.StallCycles += v.StallCycles
+		m.Links[k] = u
+	}
+	m.MemSubmitted += o.MemSubmitted
+	m.MemIssued += o.MemIssued
+	m.OrderStallCycles += o.OrderStallCycles
+	if o.MaxPending > m.MaxPending {
+		m.MaxPending = o.MaxPending
+	}
+	m.WavesDone += o.WavesDone
+	m.Drops += o.Drops
+	m.Retries += o.Retries
+	m.RetryWaitCycles += o.RetryWaitCycles
+	m.PEKills += o.PEKills
+	m.Placements += o.Placements
+	m.EventsDropped += o.EventsDropped
+}
+
+func mergeCounts(dst, src []uint64) []uint64 {
+	if len(src) > len(dst) {
+		grown := make([]uint64, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
+// Summary renders the metrics as a two-column table. Map-backed rows are
+// sorted so the rendering is deterministic.
+func (m *Metrics) Summary(title string) *stats.Table {
+	t := stats.NewTable(title, "metric", "value")
+	add := func(k string, v any) { t.AddRow(k, v) }
+	add("runs", m.Runs)
+	add("cycles (summed)", m.Cycles)
+	add("instructions fired", m.Fires)
+	add("operand tokens", m.Tokens)
+	add("instruction swaps", m.Swaps)
+	add("queue spills", m.Overflows)
+	add("max queue depth", m.MaxQueueDepth)
+	add("PEs used", int64(countNonZero(m.PEFires)))
+	add("clusters used", int64(countNonZero(m.ClusterFires)))
+	if c, n, ok := busiestCount(m.ClusterFires); ok {
+		add("busiest cluster", fmt.Sprintf("%d (%d fires)", c, n))
+	}
+	if k, u, ok := m.busiestDomain(); ok {
+		add("busiest domain", fmt.Sprintf("c%d/d%d (%d fires)", k.Cluster, k.Domain, u))
+	}
+	add("net msgs pod", m.PodMsgs)
+	add("net msgs domain", m.DomainMsgs)
+	add("net msgs cluster", m.ClusterMsgs)
+	add("net msgs mesh", m.MeshMsgs)
+	add("mesh hops", m.MeshHops)
+	add("link stall cycles", m.LinkStallCycles)
+	add("mesh links used", int64(len(m.Links)))
+	if k, u, ok := m.busiestLink(); ok {
+		add("busiest link", fmt.Sprintf("router %d dir %d (%d msgs, %d stall)", k.Router, k.Dir, u.Msgs, u.StallCycles))
+	}
+	add("mem requests submitted", m.MemSubmitted)
+	add("mem requests issued", m.MemIssued)
+	add("ordering stall cycles", m.OrderStallCycles)
+	add("max store-buffer pending", m.MaxPending)
+	add("waves completed", m.WavesDone)
+	add("message drops", m.Drops)
+	add("message retries", m.Retries)
+	add("retry wait cycles", m.RetryWaitCycles)
+	add("PE kills", m.PEKills)
+	add("placements", m.Placements)
+	if m.EventsDropped > 0 {
+		add("events dropped (buffer cap)", m.EventsDropped)
+	}
+	return t
+}
+
+func countNonZero(xs []uint64) int {
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func busiestCount(xs []uint64) (idx int, n uint64, ok bool) {
+	for i, x := range xs {
+		if x > n {
+			idx, n, ok = i, x, true
+		}
+	}
+	return
+}
+
+func (m *Metrics) busiestDomain() (DomKey, uint64, bool) {
+	keys := make([]DomKey, 0, len(m.DomainFires))
+	for k := range m.DomainFires {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Cluster != keys[j].Cluster {
+			return keys[i].Cluster < keys[j].Cluster
+		}
+		return keys[i].Domain < keys[j].Domain
+	})
+	var best DomKey
+	var n uint64
+	ok := false
+	for _, k := range keys {
+		if v := m.DomainFires[k]; v > n {
+			best, n, ok = k, v, true
+		}
+	}
+	return best, n, ok
+}
+
+func (m *Metrics) busiestLink() (LinkKey, LinkUse, bool) {
+	keys := make([]LinkKey, 0, len(m.Links))
+	for k := range m.Links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Router != keys[j].Router {
+			return keys[i].Router < keys[j].Router
+		}
+		return keys[i].Dir < keys[j].Dir
+	})
+	var best LinkKey
+	var u LinkUse
+	ok := false
+	for _, k := range keys {
+		if v := m.Links[k]; v.Msgs > u.Msgs {
+			best, u, ok = k, v, true
+		}
+	}
+	return best, u, ok
+}
+
+// Tracer records events and metrics for one simulation run. Not safe for
+// concurrent use: construct one per run, like a placement policy. All
+// methods are no-ops on a nil receiver — a nil *Tracer is the disabled
+// state and costs one predictable branch per call site.
+type Tracer struct {
+	cfg     Config
+	lastT   int64
+	events  []Event
+	buckets []Bucket
+	m       Metrics
+}
+
+// New builds a tracer.
+func New(cfg Config) *Tracer {
+	return &Tracer{cfg: cfg.withDefaults()}
+}
+
+// Metrics returns the collected counters (nil receiver: an empty set).
+func (t *Tracer) Metrics() *Metrics {
+	if t == nil {
+		return &Metrics{}
+	}
+	return &t.m
+}
+
+// Events returns the recorded event stream (nil when events are off).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Series returns the per-cycle counter buckets and their width in cycles.
+func (t *Tracer) Series() ([]Bucket, int64) {
+	if t == nil {
+		return nil, 0
+	}
+	return t.buckets, t.cfg.SampleInterval
+}
+
+// bucket returns the sample bucket covering cycle tm, growing the series
+// as simulated time advances.
+func (t *Tracer) bucket(tm int64) *Bucket {
+	if tm < 0 {
+		tm = 0
+	}
+	i := int(tm / t.cfg.SampleInterval)
+	for len(t.buckets) <= i {
+		t.buckets = append(t.buckets, Bucket{})
+	}
+	return &t.buckets[i]
+}
+
+func (t *Tracer) event(tm int64, k Kind, pe int, a, b int64) {
+	if !t.cfg.Events {
+		return
+	}
+	if len(t.events) >= t.cfg.MaxEvents {
+		t.m.EventsDropped++
+		return
+	}
+	t.events = append(t.events, Event{T: tm, Kind: k, PE: int32(pe), A: a, B: b})
+}
+
+func (t *Tracer) touch(tm int64) {
+	if tm > t.lastT {
+		t.lastT = tm
+	}
+}
+
+// Token records an operand delivery at a PE; depth is the PE's waiting
+// token count after the delivery (the operand-queue depth counter).
+func (t *Tracer) Token(tm int64, pe, depth int) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.Tokens++
+	if int64(depth) > t.m.MaxQueueDepth {
+		t.m.MaxQueueDepth = int64(depth)
+	}
+	b := t.bucket(tm)
+	b.Tokens++
+	if int64(depth) > b.MaxQueue {
+		b.MaxQueue = int64(depth)
+	}
+	t.event(tm, KindToken, pe, int64(depth), 0)
+}
+
+// Overflow records a matching-table spill at a PE.
+func (t *Tracer) Overflow(tm int64, pe int) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.Overflows++
+	t.bucket(tm).Overflows++
+	t.event(tm, KindOverflow, pe, 0, 0)
+}
+
+// Swap records a demand swap of an instruction into a PE store.
+func (t *Tracer) Swap(tm int64, pe int) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.Swaps++
+	t.bucket(tm).Swaps++
+	t.event(tm, KindSwap, pe, 0, 0)
+}
+
+// Fire records an instruction firing: the PE-occupancy counter, broken
+// down by cluster and domain.
+func (t *Tracer) Fire(tm int64, pe, cluster, domain int) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.Fires++
+	for len(t.m.PEFires) <= pe {
+		t.m.PEFires = append(t.m.PEFires, 0)
+	}
+	t.m.PEFires[pe]++
+	for len(t.m.ClusterFires) <= cluster {
+		t.m.ClusterFires = append(t.m.ClusterFires, 0)
+	}
+	t.m.ClusterFires[cluster]++
+	if t.m.DomainFires == nil {
+		t.m.DomainFires = make(map[DomKey]uint64)
+	}
+	t.m.DomainFires[DomKey{Cluster: cluster, Domain: domain}]++
+	t.bucket(tm).Fires++
+	t.event(tm, KindFire, pe, int64(cluster), int64(domain))
+}
+
+// Place records a placement decision (or a post-eviction migration). The
+// policy has no notion of simulated time, so the event carries the latest
+// time the tracer has seen.
+func (t *Tracer) Place(fn, instr, pe int) {
+	if t == nil {
+		return
+	}
+	t.m.Placements++
+	t.event(t.lastT, KindPlace, pe, int64(fn), int64(instr))
+}
+
+// NetMsg records an operand-network message at one of the four hierarchy
+// levels (LevelPod..LevelMesh).
+func (t *Tracer) NetMsg(tm int64, level int) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	switch level {
+	case LevelPod:
+		t.m.PodMsgs++
+	case LevelDomain:
+		t.m.DomainMsgs++
+	case LevelCluster:
+		t.m.ClusterMsgs++
+	case LevelMesh:
+		t.m.MeshMsgs++
+		t.bucket(tm).MeshMsgs++
+	}
+}
+
+// LinkHop records one traversal of a directed mesh link, with the cycles
+// the message waited for link bandwidth.
+func (t *Tracer) LinkHop(tm int64, router, dir int, stall int64) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.MeshHops++
+	t.m.LinkStallCycles += uint64(stall)
+	if t.m.Links == nil {
+		t.m.Links = make(map[LinkKey]LinkUse)
+	}
+	k := LinkKey{Router: router, Dir: dir}
+	u := t.m.Links[k]
+	u.Msgs++
+	u.StallCycles += uint64(stall)
+	t.m.Links[k] = u
+	t.bucket(tm).LinkStall += stall
+}
+
+// MemSubmit records a memory request arriving at the ordering engine;
+// pending is the engine's buffered-request depth after arrival (the
+// store-buffer occupancy counter).
+func (t *Tracer) MemSubmit(tm int64, pending int) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.MemSubmitted++
+	if int64(pending) > t.m.MaxPending {
+		t.m.MaxPending = int64(pending)
+	}
+	b := t.bucket(tm)
+	b.MemSubmits++
+	if int64(pending) > b.MaxPending {
+		b.MaxPending = int64(pending)
+	}
+	t.event(tm, KindMemSubmit, -1, int64(pending), 0)
+}
+
+// MemIssue records the ordering engine releasing a request in program
+// order; stall is the cycles the request waited, buffered, for its
+// ordering chain to resolve (the wave-ordered memory stall counter).
+func (t *Tracer) MemIssue(tm int64, memKind int, stall int64) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.MemIssued++
+	t.m.OrderStallCycles += uint64(stall)
+	b := t.bucket(tm)
+	b.MemIssues++
+	b.OrderStall += stall
+	t.event(tm, KindMemIssue, -1, int64(memKind), stall)
+}
+
+// WaveDone records a dynamic wave's memory sequence completing.
+func (t *Tracer) WaveDone(tm int64, ctx, wave uint32) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.WavesDone++
+	t.event(tm, KindWaveDone, -1, int64(ctx), int64(wave))
+}
+
+// Retry records a retransmit after a lost message (wait = ack-timeout
+// cycles the sender paid).
+func (t *Tracer) Retry(tm int64, pe int, wait int64) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.Retries++
+	t.m.RetryWaitCycles += uint64(wait)
+	t.bucket(tm).Retries++
+	t.event(tm, KindRetry, pe, wait, 0)
+}
+
+// Drop records a message attempt lost in transit.
+func (t *Tracer) Drop(tm int64, pe int) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.Drops++
+	t.bucket(tm).Drops++
+	t.event(tm, KindDrop, pe, 0, 0)
+}
+
+// Kill records a mid-run PE death.
+func (t *Tracer) Kill(tm int64, pe int) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.PEKills++
+	t.event(tm, KindKill, pe, 0, 0)
+}
+
+// Finish stamps the run's final cycle count into the metrics; the
+// simulator calls it once at the end of a successful run.
+func (t *Tracer) Finish(cycles int64) {
+	if t == nil {
+		return
+	}
+	t.m.Runs++
+	t.m.Cycles += cycles
+}
+
+// Aggregate is a thread-safe metrics sink: experiment cells running on a
+// worker pool each merge their run's tracer into it. Because Metrics
+// merges are commutative, the aggregate is byte-identical at any worker
+// count.
+type Aggregate struct {
+	mu sync.Mutex
+	m  Metrics
+}
+
+// NewAggregate builds an empty sink.
+func NewAggregate() *Aggregate { return &Aggregate{} }
+
+// Add merges a run's metrics into the aggregate.
+func (a *Aggregate) Add(t *Tracer) {
+	if a == nil || t == nil {
+		return
+	}
+	a.mu.Lock()
+	a.m.Merge(&t.m)
+	a.mu.Unlock()
+}
+
+// Snapshot returns a deep copy of the merged metrics.
+func (a *Aggregate) Snapshot() Metrics {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out Metrics
+	out.Merge(&a.m)
+	return out
+}
+
+// Summary renders the merged metrics as a table.
+func (a *Aggregate) Summary(title string) *stats.Table {
+	m := a.Snapshot()
+	return m.Summary(title)
+}
+
+// Reset clears the sink (between experiments).
+func (a *Aggregate) Reset() {
+	a.mu.Lock()
+	a.m = Metrics{}
+	a.mu.Unlock()
+}
+
+// Runs reports how many runs have merged in.
+func (a *Aggregate) Runs() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.m.Runs
+}

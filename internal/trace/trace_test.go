@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestDisabledTracerZeroAlloc: the disabled state is a nil *Tracer, and
+// every method on it must return without allocating — the zero-cost
+// contract the simulators rely on in their hot paths.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Token(10, 3, 2)
+		tr.Overflow(10, 3)
+		tr.Swap(11, 4)
+		tr.Fire(12, 5, 0, 1)
+		tr.Place(0, 7, 5)
+		tr.NetMsg(13, LevelMesh)
+		tr.LinkHop(13, 2, 1, 4)
+		tr.MemSubmit(14, 2)
+		tr.MemIssue(15, 1, 3)
+		tr.WaveDone(16, 0, 2)
+		tr.Retry(17, 6, 32)
+		tr.Drop(17, 6)
+		tr.Kill(18, 9)
+		tr.Finish(100)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// drive feeds a deterministic synthetic event mix into tr.
+func drive(tr *Tracer) {
+	rng := rand.New(rand.NewSource(99))
+	for cy := int64(0); cy < 500; cy++ {
+		pe := rng.Intn(16)
+		tr.Token(cy, pe, rng.Intn(8))
+		if cy%3 == 0 {
+			tr.Fire(cy, pe, pe/8, (pe/2)%4)
+		}
+		if cy%17 == 0 {
+			tr.Swap(cy, pe)
+		}
+		if cy%29 == 0 {
+			tr.Overflow(cy, pe)
+		}
+		tr.NetMsg(cy, int(cy%4))
+		if cy%4 == LevelMesh {
+			tr.LinkHop(cy, pe/2, int(cy)%4, cy%3)
+		}
+		if cy%5 == 0 {
+			tr.MemSubmit(cy, rng.Intn(6))
+		}
+		if cy%7 == 0 {
+			tr.MemIssue(cy, 1, cy%11)
+		}
+		if cy%31 == 0 {
+			tr.Drop(cy, pe)
+			tr.Retry(cy, pe, 16)
+		}
+		if cy == 250 {
+			tr.Kill(cy, 3)
+			tr.WaveDone(cy, 0, 4)
+			tr.Place(0, 12, pe)
+		}
+	}
+	tr.Finish(500)
+}
+
+// TestMetricsCounting: counters reflect the driven mix.
+func TestMetricsCounting(t *testing.T) {
+	tr := New(Config{Events: true})
+	drive(tr)
+	m := tr.Metrics()
+	if m.Tokens != 500 {
+		t.Errorf("Tokens = %d, want 500", m.Tokens)
+	}
+	if m.Fires == 0 || m.Swaps == 0 || m.Overflows == 0 {
+		t.Errorf("zero fire/swap/overflow counters: %+v", m)
+	}
+	var sum uint64
+	for _, f := range m.PEFires {
+		sum += f
+	}
+	if sum != m.Fires {
+		t.Errorf("PEFires sum %d != Fires %d", sum, m.Fires)
+	}
+	sum = 0
+	for _, f := range m.ClusterFires {
+		sum += f
+	}
+	if sum != m.Fires {
+		t.Errorf("ClusterFires sum %d != Fires %d", sum, m.Fires)
+	}
+	sum = 0
+	for _, f := range m.DomainFires {
+		sum += f
+	}
+	if sum != m.Fires {
+		t.Errorf("DomainFires sum %d != Fires %d", sum, m.Fires)
+	}
+	if m.PodMsgs+m.DomainMsgs+m.ClusterMsgs+m.MeshMsgs != 500 {
+		t.Errorf("net msg level counts don't sum to 500: %+v", m)
+	}
+	if m.MeshHops == 0 || len(m.Links) == 0 {
+		t.Errorf("no mesh link accounting: %+v", m)
+	}
+	if m.Drops != m.Retries || m.Drops == 0 {
+		t.Errorf("Drops %d / Retries %d", m.Drops, m.Retries)
+	}
+	if m.PEKills != 1 || m.WavesDone != 1 || m.Placements != 1 {
+		t.Errorf("kills/waves/placements: %+v", m)
+	}
+	if m.Runs != 1 || m.Cycles != 500 {
+		t.Errorf("Finish not recorded: runs %d cycles %d", m.Runs, m.Cycles)
+	}
+	buckets, interval := tr.Series()
+	if interval != 64 || len(buckets) == 0 {
+		t.Fatalf("series: %d buckets, interval %d", len(buckets), interval)
+	}
+	var bt int64
+	for _, b := range buckets {
+		bt += b.Tokens
+	}
+	if bt != 500 {
+		t.Errorf("bucket token sum %d, want 500", bt)
+	}
+}
+
+// TestJSONLDeterministicAndValid: two identically-driven tracers export
+// byte-identical JSONL, and every line is a well-formed JSON object.
+func TestJSONLDeterministicAndValid(t *testing.T) {
+	var a, b bytes.Buffer
+	ta := New(Config{Events: true})
+	tb := New(Config{Events: true})
+	drive(ta)
+	drive(tb)
+	if err := ta.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty JSONL export")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical runs exported different JSONL")
+	}
+	for i, line := range strings.Split(strings.TrimRight(a.String(), "\n"), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if _, ok := obj["t"]; !ok {
+			t.Fatalf("line %d missing \"t\": %s", i+1, line)
+		}
+		if _, ok := obj["ev"]; !ok {
+			t.Fatalf("line %d missing \"ev\": %s", i+1, line)
+		}
+	}
+}
+
+// TestChromeTraceValidJSON: the Chrome export parses as a trace_event
+// JSON document with a non-empty traceEvents array.
+func TestChromeTraceValidJSON(t *testing.T) {
+	tr := New(Config{Events: true})
+	drive(tr)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	sawCounter, sawInstant := false, false
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "C":
+			sawCounter = true
+		case "i":
+			sawInstant = true
+		}
+	}
+	if !sawCounter || !sawInstant {
+		t.Fatalf("want both counter and instant events (counter=%v instant=%v)", sawCounter, sawInstant)
+	}
+}
+
+// TestEventCapCounted: events beyond MaxEvents are dropped and the drop
+// is surfaced in the metrics, never silent.
+func TestEventCapCounted(t *testing.T) {
+	tr := New(Config{Events: true, MaxEvents: 10})
+	for i := 0; i < 50; i++ {
+		tr.Token(int64(i), 0, 1)
+	}
+	if got := len(tr.Events()); got != 10 {
+		t.Fatalf("recorded %d events, want cap 10", got)
+	}
+	if tr.Metrics().EventsDropped != 40 {
+		t.Fatalf("EventsDropped = %d, want 40", tr.Metrics().EventsDropped)
+	}
+	if tr.Metrics().Tokens != 50 {
+		t.Fatalf("metrics must still count capped events: Tokens = %d", tr.Metrics().Tokens)
+	}
+}
+
+// TestAggregateMergeCommutative: merging run metrics in any order yields
+// the same summary — the property that makes experiment summaries
+// worker-count invariant.
+func TestAggregateMergeCommutative(t *testing.T) {
+	mk := func(seed int64) *Tracer {
+		tr := New(Config{})
+		rng := rand.New(rand.NewSource(seed))
+		for cy := int64(0); cy < 200; cy++ {
+			pe := rng.Intn(8)
+			tr.Token(cy, pe, rng.Intn(5))
+			tr.Fire(cy, pe, pe/4, pe%4)
+			tr.LinkHop(cy, pe, pe%4, cy%2)
+			tr.MemIssue(cy, 0, cy%5)
+		}
+		tr.Finish(200)
+		return tr
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+	ag1, ag2 := NewAggregate(), NewAggregate()
+	ag1.Add(a)
+	ag1.Add(b)
+	ag1.Add(c)
+	ag2.Add(c)
+	ag2.Add(a)
+	ag2.Add(b)
+	s1 := ag1.Summary("x").Render()
+	s2 := ag2.Summary("x").Render()
+	if s1 != s2 {
+		t.Fatalf("merge order changed summary:\n%s\nvs\n%s", s1, s2)
+	}
+	if ag1.Runs() != 3 {
+		t.Fatalf("Runs = %d, want 3", ag1.Runs())
+	}
+	ag1.Reset()
+	if ag1.Runs() != 0 {
+		t.Fatal("Reset did not clear the aggregate")
+	}
+}

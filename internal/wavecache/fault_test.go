@@ -36,14 +36,14 @@ func TestDisabledFaultsChangeNothing(t *testing.T) {
 	src := testprogs.Heavy[1].Src // sort_64
 	wp := compileSource(t, src)
 	cfg := DefaultConfig(2, 2)
-	base, err := Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg)
+	base, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg2 := DefaultConfig(2, 2)
 	cfg2.Faults = fault.Config{} // explicit zero
 	cfg2.MaxCycles = 1 << 40
-	guarded, err := Run(wp, placement.NewDynamicSnake(cfg2.Machine), cfg2)
+	guarded, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg2.Machine)), cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestWatchdogMaxCycles(t *testing.T) {
 	wp := compileSource(t, testprogs.Heavy[1].Src)
 	cfg := DefaultConfig(2, 2)
 	cfg.MaxCycles = 10
-	_, err := Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg)
+	_, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
 	var fe *fault.FaultError
 	if !errors.As(err, &fe) {
 		t.Fatalf("want *fault.FaultError, got %v", err)

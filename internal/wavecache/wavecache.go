@@ -32,6 +32,7 @@ import (
 	"wavescalar/internal/noc"
 	"wavescalar/internal/placement"
 	"wavescalar/internal/profile"
+	"wavescalar/internal/trace"
 	"wavescalar/internal/waveorder"
 )
 
@@ -108,6 +109,19 @@ type Config struct {
 	// before constructing the placement policy, so placement and simulator
 	// agree on which PEs are dead.
 	Faults fault.Config
+
+	// Tracer, when non-nil, records this run's structured trace (counters
+	// plus, if configured, the event stream). nil disables tracing at zero
+	// cost and leaves Results bit-identical to a tracer-free build. Like a
+	// placement policy, a Tracer belongs to one run: never share one
+	// across concurrent Runs.
+	Tracer *trace.Tracer
+
+	// Metrics, when non-nil, receives the run's trace counters at
+	// successful completion (via a private metrics-only tracer when Tracer
+	// is nil). The aggregate is thread-safe, so concurrent experiment
+	// cells may share one.
+	Metrics *trace.Aggregate
 }
 
 // DefaultConfig returns the published WaveScalar processor parameters on a
@@ -211,6 +225,7 @@ type memCookie struct {
 	id     isa.InstrID
 	tag    isa.Tag
 	fireAt int64
+	arrive int64 // cycle the request reached its store buffer
 	pe     int
 	buf    int // store-buffer cluster bound at submit time
 }
@@ -253,6 +268,10 @@ type sim struct {
 	inj    *fault.Injector
 	killed bool  // the scheduled mid-run PE death has happened
 	memErr error // unrecoverable fault raised inside the issueMem callback
+
+	// tr is the run's tracer (nil = disabled; every emission is either a
+	// nil-safe call or guarded so the disabled path costs one branch).
+	tr *trace.Tracer
 
 	res Result
 }
@@ -321,6 +340,12 @@ func newSim(p *isa.Program, pol placement.Policy, cfg Config) (*sim, error) {
 	for i := range s.pes {
 		s.pes[i].resident = make(map[profile.InstrRef]uint64)
 	}
+	s.tr = cfg.Tracer
+	if s.tr == nil && cfg.Metrics != nil {
+		// Metrics-only tracing: counters without an event stream.
+		s.tr = trace.New(trace.Config{})
+	}
+	net.AttachTracer(s.tr)
 	if cfg.Faults.Enabled() {
 		inj, err := fault.NewInjector(cfg.Faults)
 		if err != nil {
@@ -328,6 +353,7 @@ func newSim(p *isa.Program, pol placement.Policy, cfg Config) (*sim, error) {
 		}
 		s.inj = inj
 		net.AttachFaults(inj)
+		inj.AttachTracer(s.tr)
 		if cfg.Faults.DefectRate > 0 && cfg.Machine.Defective == nil {
 			return nil, &fault.FaultError{Kind: fault.KindConfig, PE: -1,
 				Detail: "DefectRate set but Machine.Defective is nil; install fault.DefectMap before building the placement policy"}
@@ -346,6 +372,9 @@ func newSim(p *isa.Program, pol placement.Policy, cfg Config) (*sim, error) {
 	}
 	s.opstore = make([]map[isa.Tag]*operands, total)
 	s.engine = waveorder.NewEngine(0, s.issueMem)
+	if s.tr != nil {
+		s.engine.AttachTracer(s.tr, func() int64 { return s.now })
+	}
 	return s, nil
 }
 
@@ -415,6 +444,8 @@ func (s *sim) run() (Result, error) {
 			s.res.PEsUsed++
 		}
 	}
+	s.tr.Finish(s.res.Cycles)
+	s.cfg.Metrics.Add(s.tr)
 	return s.res, nil
 }
 
@@ -444,8 +475,10 @@ func (s *sim) deliver(e *event) error {
 		// Matching-table overflow spills to memory.
 		s.res.Overflows++
 		t += s.cfg.OverflowPenalty
+		s.tr.Overflow(e.time, pe)
 	}
 	ps.waiting++
+	s.tr.Token(e.time, pe, ps.waiting)
 
 	gi := s.instrBase[e.fn] + int(e.dest.Instr)
 	in := &s.prog.Funcs[e.fn].Instrs[e.dest.Instr]
@@ -478,6 +511,7 @@ func (s *sim) deliver(e *event) error {
 	if _, ok := ps.resident[ref]; !ok {
 		s.res.Swaps++
 		t += s.cfg.SwapPenalty
+		s.tr.Swap(e.time, pe)
 		if len(ps.resident) >= s.cfg.PEStore {
 			var victim profile.InstrRef
 			oldest := ^uint64(0)
@@ -563,6 +597,7 @@ func (s *sim) killPE() error {
 	}
 	ps := &s.pes[pe]
 	s.res.Faults.PEKills++
+	s.tr.Kill(at, pe)
 	s.res.Faults.MigratedInstrs += uint64(len(ps.resident))
 	ps.resident = make(map[profile.InstrRef]uint64)
 	ps.waiting = 0
@@ -644,7 +679,7 @@ func (s *sim) submitMem(pe int, fn isa.FuncID, id isa.InstrID, in *isa.Instructi
 		Ctx: tag.Ctx, Wave: tag.Wave,
 		Kind: in.Mem.Kind, Seq: in.Mem.Seq, Pred: in.Mem.Pred, Succ: in.Mem.Succ,
 		Addr: addr, Value: val, ChildCtx: childCtx,
-		Cookie: memCookie{fn: fn, id: id, tag: tag, fireAt: t, pe: pe, buf: buf},
+		Cookie: memCookie{fn: fn, id: id, tag: tag, fireAt: t, arrive: arr, pe: pe, buf: buf},
 	}
 	s.push(&event{time: arr, kind: evMemArrive, req: req})
 	return nil
@@ -661,6 +696,10 @@ func (s *sim) fire(e *event) error {
 	in := &s.prog.Funcs[fn].Instrs[id]
 	pe := s.homePE(fn, id)
 	t := e.time
+	if s.tr != nil {
+		l := s.loc(pe)
+		s.tr.Fire(t, pe, l.Cluster, l.Domain)
+	}
 
 	switch {
 	case in.Op == isa.OpNop:
@@ -747,10 +786,14 @@ func (s *sim) fire(e *event) error {
 // issueMem runs when the ordering engine releases a request in program
 // order; it performs the timed cache access and routes load replies.
 func (s *sim) issueMem(r *waveorder.Request) {
-	buf := r.Cookie.(memCookie).buf
+	ck := r.Cookie.(memCookie)
+	buf := ck.buf
+	// The ordering stall is how long the request sat buffered waiting for
+	// its wave chain to resolve: issue happens at the current event time,
+	// arrival was stamped at submit.
+	s.tr.MemIssue(s.now, int(r.Kind), s.now-ck.arrive)
 	switch r.Kind {
 	case isa.MemLoad:
-		ck := r.Cookie.(memCookie)
 		start := s.bufIssueTime(buf)
 		ar := s.memsys.Access(buf, clampAddr(r.Addr, len(s.memImage)), false)
 		done := start + ar.Latency

@@ -13,6 +13,16 @@ import (
 	"wavescalar/internal/wavec"
 )
 
+// mustPol unwraps a policy constructor: the machines tests build are
+// always valid, so a construction error is a test bug. It panics (rather
+// than t.Fatal) so it is usable inside goroutines and benchmarks.
+func mustPol(pol placement.Policy, err error) placement.Policy {
+	if err != nil {
+		panic(err)
+	}
+	return pol
+}
+
 func compileSource(t testing.TB, src string) *isa.Program {
 	t.Helper()
 	f, err := lang.ParseAndCheck(src)
@@ -52,7 +62,7 @@ func TestSimulatorMatchesEvaluator(t *testing.T) {
 				t.Fatal(err)
 			}
 			wp := compileSource(t, c.Src)
-			pol := placement.NewDynamicSnake(cfg.Machine)
+			pol := mustPol(placement.NewDynamicSnake(cfg.Machine))
 			res, gotMem, err := RunWithMemory(wp, pol, cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -107,7 +117,7 @@ func TestAllMemoryModesAgreeFunctionally(t *testing.T) {
 	for _, mode := range []MemoryMode{MemOrdered, MemSerial, MemIdeal} {
 		cfg := DefaultConfig(1, 1)
 		cfg.MemMode = mode
-		pol := placement.NewDynamicSnake(cfg.Machine)
+		pol := mustPol(placement.NewDynamicSnake(cfg.Machine))
 		res, err := Run(wp, pol, cfg)
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
@@ -135,7 +145,7 @@ func TestMemoryModesSeparateOnMemoryBoundLoop(t *testing.T) {
 	run := func(mode MemoryMode) int64 {
 		cfg := DefaultConfig(1, 1)
 		cfg.MemMode = mode
-		res, err := Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg)
+		res, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +165,7 @@ func TestSwapThrashingAtTinyCapacity(t *testing.T) {
 		cfg := DefaultConfig(1, 1)
 		cfg.PEStore = capacity
 		cfg.Machine.Capacity = capacity
-		res, err := Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg)
+		res, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,11 +191,11 @@ func TestRandomPlacementSlower(t *testing.T) {
 	src := `func main() { var x = 12345; for var i = 0; i < 2000; i = i + 1 { x = (x * 48271) % 2147483647; } return x; }`
 	wp := compileSource(t, src)
 	cfg := DefaultConfig(4, 4)
-	snake, err := Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg)
+	snake, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	random, err := Run(wp, placement.NewRandom(cfg.Machine, 5), cfg)
+	random, err := Run(wp, mustPol(placement.NewRandom(cfg.Machine, 5)), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +207,7 @@ func TestRandomPlacementSlower(t *testing.T) {
 func TestStatsPopulated(t *testing.T) {
 	wp := compileSource(t, testprogs.Heavy[1].Src)
 	cfg := DefaultConfig(2, 2)
-	res, err := Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg)
+	res, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +238,7 @@ func TestFuelExhaustion(t *testing.T) {
 	wp := compileSource(t, `func main() { var i = 0; while i < 100000 { i = i + 1; } return i; }`)
 	cfg := DefaultConfig(1, 1)
 	cfg.Fuel = 500
-	if _, err := Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg); err == nil {
+	if _, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg); err == nil {
 		t.Fatal("expected fuel exhaustion error")
 	}
 }
@@ -243,7 +253,7 @@ func TestTinyInputQueueCausesOverflow(t *testing.T) {
 	wp := compileSource(t, testprogs.Heavy[2].Src)
 	cfg := DefaultConfig(1, 1)
 	cfg.InputQueue = 1
-	res, err := Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg)
+	res, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +262,7 @@ func TestTinyInputQueueCausesOverflow(t *testing.T) {
 	}
 	big := DefaultConfig(1, 1)
 	big.InputQueue = 1 << 20
-	res2, err := Run(wp, placement.NewDynamicSnake(big.Machine), big)
+	res2, err := Run(wp, mustPol(placement.NewDynamicSnake(big.Machine)), big)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +290,7 @@ func TestConcurrentRunsShareProgram(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			cfg := DefaultConfig(2, 2)
-			results[i], errs[i] = Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg)
+			results[i], errs[i] = Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
 		}()
 	}
 	wg.Wait()
@@ -300,7 +310,7 @@ func TestConcurrentRunsShareProgram(t *testing.T) {
 			defer wg2.Done()
 			cfg := DefaultConfig(1+i%2, 1+i%2)
 			cfg.MemMode = MemoryMode(i % 3)
-			if _, err := Run(wp, placement.NewDynamicSnake(cfg.Machine), cfg); err != nil {
+			if _, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg); err != nil {
 				t.Errorf("mixed run %d: %v", i, err)
 			}
 		}()
@@ -314,7 +324,7 @@ func BenchmarkWaveCacheSort(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pol := placement.NewDynamicSnake(cfg.Machine)
+		pol := mustPol(placement.NewDynamicSnake(cfg.Machine))
 		if _, err := Run(wp, pol, cfg); err != nil {
 			b.Fatal(err)
 		}

@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"wavescalar/internal/isa"
+	"wavescalar/internal/trace"
 )
 
 // Request is one memory message sent from an executing instruction to the
@@ -137,6 +138,12 @@ type Engine struct {
 
 	pending int
 	stats   Stats
+
+	// Structured tracing (nil when disabled). The engine is purely
+	// logical, so the hosting simulator supplies the clock that stamps
+	// trace records with simulated time.
+	tr    *trace.Tracer
+	clock func() int64
 }
 
 // Stats counts ordering-engine activity.
@@ -171,6 +178,13 @@ func NewEngine(rootCtx uint32, issue IssueFunc) *Engine {
 // Stats returns a copy of the engine's counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// AttachTracer installs the structured tracing sink (nil disables it).
+// clock supplies the hosting simulator's current cycle; it must be
+// non-nil when tr is.
+func (e *Engine) AttachTracer(tr *trace.Tracer, clock func() int64) {
+	e.tr, e.clock = tr, clock
+}
+
 // Pending reports how many submitted requests have not yet issued.
 func (e *Engine) Pending() int { return e.pending }
 
@@ -198,6 +212,9 @@ func (e *Engine) Submit(r *Request) error {
 		e.stats.MaxPending = e.pending
 	}
 	e.stats.Submitted++
+	if e.tr != nil {
+		e.tr.MemSubmit(e.clock(), e.pending)
+	}
 	return e.drain()
 }
 
@@ -300,6 +317,9 @@ func (e *Engine) issueOne(c *ctxState, r *Request) error {
 
 func (e *Engine) completeWave(c *ctxState) {
 	e.stats.WavesDone++
+	if e.tr != nil {
+		e.tr.WaveDone(e.clock(), c.id, c.curWave)
+	}
 	c.curWave++
 	c.last = nil
 }

@@ -29,6 +29,7 @@ import (
 	"wavescalar/internal/linear"
 	"wavescalar/internal/ooo"
 	"wavescalar/internal/placement"
+	"wavescalar/internal/trace"
 	"wavescalar/internal/wavec"
 	"wavescalar/internal/wavecache"
 )
@@ -210,6 +211,11 @@ type SimConfig struct {
 	// FaultSeed drives every fault decision; the same (seed, spec) pair
 	// reproduces a faulty run bit-for-bit.
 	FaultSeed uint64
+	// Tracer, when non-nil, records per-cycle metrics and (if the tracer's
+	// Config enables them) a structured event stream for this run. A nil
+	// Tracer leaves the simulation bit-identical to an untraced run; a
+	// Tracer must not be shared across concurrent Simulate calls.
+	Tracer *trace.Tracer
 }
 
 // DefaultSimConfig returns the tuned kernel-scale configuration.
@@ -296,6 +302,10 @@ func (p *Program) Simulate(sc SimConfig) (SimResult, error) {
 	pol, err := placement.New(sc.Placement, cfg.Machine, p.dataflow, 12345)
 	if err != nil {
 		return SimResult{}, err
+	}
+	if sc.Tracer != nil {
+		cfg.Tracer = sc.Tracer
+		pol = placement.Traced(pol, sc.Tracer)
 	}
 	res, err := wavecache.Run(p.dataflow, pol, cfg)
 	if err != nil {
