@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci check vet build test race bench fuzz
+.PHONY: ci check vet build test race bench bench-base bench-cmp fuzz
 
 ci: vet build test race
 
@@ -22,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/harness ./internal/wavecache ./internal/ooo ./internal/fault ./internal/noc ./internal/waveorder ./internal/trace
+	$(GO) test -race ./internal/parallel ./internal/harness ./internal/wavecache ./internal/ooo ./internal/fault ./internal/noc ./internal/waveorder ./internal/trace ./internal/tagtable
 
 # fuzz runs the native fuzz targets for a short burst — a smoke pass, not
 # a soak; crashes land in testdata/fuzz/ as usual.
@@ -36,3 +36,28 @@ fuzz:
 # (BenchmarkHarnessCells{Sequential,Parallel}).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Before/after benchmark comparison workflow for performance work:
+#   make bench-base            # on the baseline commit: writes bench.base.txt
+#   ...apply the optimization...
+#   make bench-cmp             # writes bench.new.txt and compares
+# COUNT >= 5 gives benchstat-grade samples; comparison uses benchstat when
+# installed and falls back to a side-by-side diff otherwise. The .txt files
+# are scratch output — do not commit them.
+COUNT ?= 5
+BENCHRE ?= BenchmarkE[0-9]+_
+
+bench-base:
+	$(GO) test -bench='$(BENCHRE)' -benchtime=1x -count=$(COUNT) -benchmem -run=^$$ . | tee bench.base.txt
+
+bench-cmp:
+	$(GO) test -bench='$(BENCHRE)' -benchtime=1x -count=$(COUNT) -benchmem -run=^$$ . | tee bench.new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench.base.txt bench.new.txt; \
+	else \
+		echo "benchstat not installed; raw comparison:"; \
+		grep '^Benchmark' bench.base.txt | sort > bench.base.sorted.txt; \
+		grep '^Benchmark' bench.new.txt | sort > bench.new.sorted.txt; \
+		paste bench.base.sorted.txt bench.new.sorted.txt | column -t; \
+		rm -f bench.base.sorted.txt bench.new.sorted.txt; \
+	fi

@@ -95,6 +95,10 @@ func BenchmarkE10_SwapCost(b *testing.B) { runExperiment(b, "E10") }
 // BenchmarkE11_Unrolling regenerates the loop-unrolling ablation.
 func BenchmarkE11_Unrolling(b *testing.B) { runExperiment(b, "E11") }
 
+// BenchmarkE12_FaultInjection regenerates the fault-injection sweep
+// (defect maps, message loss, recovery costs).
+func BenchmarkE12_FaultInjection(b *testing.B) { runExperiment(b, "E12") }
+
 // benchExperimentWorkers reports the harness wall-clock for one
 // experiment at a fixed worker count; comparing the Sequential and
 // Parallel variants below shows the speedup of the cell pool (identical

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	waveexp [-experiments E1,E4] [-benches fft,lu] [-grid 4x4] [-j 8]
-//	        [-metrics] [-out results.txt]
+//	        [-metrics] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	        [-out results.txt]
 //
 // Compilation and the experiments' simulation cells fan out across -j
 // worker goroutines (default: one per CPU). The tables are byte-identical
@@ -20,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,10 +39,18 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "worker goroutines for compilation and simulation cells (1 = sequential)")
 	metrics := flag.Bool("metrics", false,
 		"aggregate WaveCache trace metrics across each experiment's cells and print a summary table after it")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (go tool pprof format) to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 	if *jobs < 1 {
 		fatal(fmt.Errorf("-j must be >= 1, got %d", *jobs))
 	}
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -107,7 +117,55 @@ func pick(names []string) []string {
 	return names
 }
 
+// stopProfiles flushes any active profiles; fatal calls it so -cpuprofile
+// output survives error exits (os.Exit skips defers).
+var stopProfiles func()
+
+// startProfiles begins CPU profiling (when cpu is non-empty) and arranges
+// an allocation-profile snapshot at stop (when heap is non-empty). The
+// returned stop function is idempotent.
+func startProfiles(cpu, heap string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if heap != "" {
+			f, err := os.Create(heap)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
 func fatal(err error) {
+	if stopProfiles != nil {
+		stopProfiles()
+	}
 	fmt.Fprintln(os.Stderr, "waveexp:", err)
 	os.Exit(1)
 }

@@ -7,6 +7,7 @@
 //	        [-memmode wave-ordered] [-density 16] [-queue 64]
 //	        [-faults defect=0.05,drop=0.01] [-fault-seed 1] [-max-cycles N]
 //	        [-trace events.jsonl] [-trace-chrome trace.json] [-metrics]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //	        [-baseline] file.wsl
 //
 // -trace writes the structured event stream as JSONL (one event per line);
@@ -22,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"wavescalar"
@@ -46,6 +49,8 @@ func main() {
 	chromePath := flag.String("trace-chrome", "", "write a Chrome trace_event file (open at chrome://tracing)")
 	metrics := flag.Bool("metrics", false, "print the per-run trace metrics summary table")
 	sample := flag.Int64("trace-sample", 0, "trace counter sampling interval in cycles (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (go tool pprof format) to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wavesim [flags] file.wsl\n")
 		flag.PrintDefaults()
@@ -55,6 +60,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stop()
 	var w, h int
 	if _, err := fmt.Sscanf(*grid, "%dx%d", &w, &h); err != nil {
 		fatal(fmt.Errorf("bad -grid %q: %v", *grid, err))
@@ -152,7 +163,55 @@ func writeTrace(path string, export func(io.Writer) error) error {
 	return f.Close()
 }
 
+// stopProfiles flushes any active profiles; fatal calls it so -cpuprofile
+// output survives error exits (os.Exit skips defers).
+var stopProfiles func()
+
+// startProfiles begins CPU profiling (when cpu is non-empty) and arranges
+// an allocation-profile snapshot at stop (when heap is non-empty). The
+// returned stop function is idempotent.
+func startProfiles(cpu, heap string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if heap != "" {
+			f, err := os.Create(heap)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
 func fatal(err error) {
+	if stopProfiles != nil {
+		stopProfiles()
+	}
 	fmt.Fprintln(os.Stderr, "wavesim:", err)
 	os.Exit(1)
 }

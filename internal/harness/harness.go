@@ -17,6 +17,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"wavescalar/internal/cfgir"
@@ -226,9 +227,17 @@ func runWaveWith(c *Compiled, prog *isa.Program, m MachineOptions, cfg wavecache
 	return RunWave(c, prog, pol, cfg)
 }
 
+// arenaPool recycles simulator arenas across experiment cells: a sweep
+// pays the simulator's internal allocations roughly once per worker instead
+// of once per cell, while each in-flight cell still owns its arena
+// exclusively. Reuse is results-neutral — see wavecache.Arena.
+var arenaPool = sync.Pool{New: func() any { return wavecache.NewArena() }}
+
 // RunWave simulates a dataflow binary and checks its checksum.
 func RunWave(c *Compiled, prog *isa.Program, pol placement.Policy, cfg wavecache.Config) (wavecache.Result, error) {
-	res, err := wavecache.Run(prog, pol, cfg)
+	a := arenaPool.Get().(*wavecache.Arena)
+	res, err := a.Run(prog, pol, cfg)
+	arenaPool.Put(a)
 	if err != nil {
 		return res, fmt.Errorf("%s: wavecache: %w", c.Name, err)
 	}

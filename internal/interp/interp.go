@@ -17,6 +17,7 @@ import (
 
 	"wavescalar/internal/isa"
 	"wavescalar/internal/profile"
+	"wavescalar/internal/tagtable"
 	"wavescalar/internal/waveorder"
 )
 
@@ -36,6 +37,11 @@ type Machine struct {
 
 	ctxMeta map[uint32]ctxInfo
 	nextCtx uint32
+
+	// cookies holds reply-routing records for in-flight loads; requests
+	// carry slab indices (Cookie is an integer handle, never a boxed
+	// value).
+	cookies tagtable.Slab[memCookie]
 
 	fuel     int64
 	done     bool
@@ -348,11 +354,17 @@ type memCookie struct {
 }
 
 func (m *Machine) submitMem(fn isa.FuncID, id isa.InstrID, in *isa.Instruction, tag isa.Tag, addr, val int64) error {
+	cookie := int64(-1)
+	if in.Mem.Kind == isa.MemLoad {
+		idx := m.cookies.Alloc()
+		*m.cookies.At(idx) = memCookie{fn: fn, id: id, tag: tag}
+		cookie = int64(idx)
+	}
 	return m.engine.Submit(&waveorder.Request{
 		Ctx: tag.Ctx, Wave: tag.Wave,
 		Kind: in.Mem.Kind, Seq: in.Mem.Seq, Pred: in.Mem.Pred, Succ: in.Mem.Succ,
 		Addr: addr, Value: val,
-		Cookie: memCookie{fn: fn, id: id, tag: tag},
+		Cookie: cookie,
 	})
 }
 
@@ -361,7 +373,9 @@ func (m *Machine) submitMem(fn isa.FuncID, id isa.InstrID, in *isa.Instruction, 
 func (m *Machine) issueMem(r *waveorder.Request) {
 	switch r.Kind {
 	case isa.MemLoad:
-		ck := r.Cookie.(memCookie)
+		idx := int32(r.Cookie)
+		ck := *m.cookies.At(idx)
+		m.cookies.Release(idx)
 		var v int64
 		if r.Addr >= 0 && r.Addr < int64(len(m.mem)) {
 			v = m.mem[r.Addr]

@@ -401,11 +401,24 @@ func (p *Program) NumInstrs() int {
 
 // InitialMemory allocates and initializes the program's data segment.
 func (p *Program) InitialMemory() []int64 {
-	m := make([]int64, p.MemWords)
-	for _, g := range p.Globals {
-		copy(m[g.Addr:g.Addr+g.Size], g.Init)
+	return p.FillMemory(nil)
+}
+
+// FillMemory (re)initializes dst to the program's initial data segment,
+// reusing dst's backing array when it is large enough — the allocation-free
+// path a reusable simulator arena takes between runs. The returned slice has
+// exactly MemWords words.
+func (p *Program) FillMemory(dst []int64) []int64 {
+	if int64(cap(dst)) >= p.MemWords {
+		dst = dst[:p.MemWords]
+		clear(dst)
+	} else {
+		dst = make([]int64, p.MemWords)
 	}
-	return m
+	for _, g := range p.Globals {
+		copy(dst[g.Addr:g.Addr+g.Size], g.Init)
+	}
+	return dst
 }
 
 // Clone returns a deep copy of the program: no slice is shared with the

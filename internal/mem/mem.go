@@ -91,6 +91,17 @@ func newCache(cfg CacheConfig) *cache {
 	return c
 }
 
+// reset empties the cache, keeping its arrays.
+func (c *cache) reset() {
+	c.tick = 0
+	for i := range c.tags {
+		for w := range c.tags[i] {
+			c.tags[i][w] = -1
+			c.lru[i][w] = 0
+		}
+	}
+}
+
 // lookup probes for a line, touching LRU on hit.
 func (c *cache) lookup(line int64) bool {
 	set := line % c.cfg.Sets()
@@ -168,6 +179,11 @@ type System struct {
 	l2  *cache
 	dir map[int64]*dirState
 
+	// dirPool recycles directory entries across lines and across Reset, so
+	// steady-state coherence tracking stops touching the allocator once a
+	// run's working set of lines has been seen.
+	dirPool []*dirState
+
 	stats  Stats
 	perL1  []Stats
 	lineSz int64
@@ -195,6 +211,51 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		s.l1s = append(s.l1s, newCache(cfg.L1))
 	}
 	return s, nil
+}
+
+// Reset returns the hierarchy to its post-NewSystem state under cfg,
+// reusing the cache arrays, directory map buckets, and directory-entry
+// pool when the shape (L1 count, cache geometries) is unchanged; a shape
+// change rebuilds the arrays. Identical behaviour to a fresh NewSystem
+// either way.
+func (s *System) Reset(cfg SystemConfig) error {
+	sameShape := cfg.NumL1s == s.cfg.NumL1s && cfg.L1 == s.cfg.L1 && cfg.L2 == s.cfg.L2
+	if !sameShape {
+		fresh, err := NewSystem(cfg)
+		if err != nil {
+			return err
+		}
+		fresh.dirPool = s.dirPool
+		*s = *fresh
+		return nil
+	}
+	s.cfg = cfg
+	s.lineSz = cfg.L1.LineWords
+	s.stats = Stats{}
+	for i := range s.perL1 {
+		s.perL1[i] = Stats{}
+	}
+	s.l2.reset()
+	for _, c := range s.l1s {
+		c.reset()
+	}
+	for line, d := range s.dir {
+		s.dirPool = append(s.dirPool, d)
+		delete(s.dir, line)
+	}
+	return nil
+}
+
+// allocDir takes a directory entry from the pool (or allocates one) and
+// initializes it to the unowned state.
+func (s *System) allocDir() *dirState {
+	if n := len(s.dirPool); n > 0 {
+		d := s.dirPool[n-1]
+		s.dirPool = s.dirPool[:n-1]
+		*d = dirState{owner: -1}
+		return d
+	}
+	return &dirState{owner: -1}
 }
 
 // Stats returns aggregate counters.
@@ -274,11 +335,12 @@ func (s *System) Access(l1 int, addr int64, write bool) AccessResult {
 			}
 			if de.sharers == 0 {
 				delete(s.dir, ev)
+				s.dirPool = append(s.dirPool, de)
 			}
 		}
 	}
 	if d == nil {
-		d = &dirState{owner: -1}
+		d = s.allocDir()
 		s.dir[line] = d
 	}
 	d.sharers |= 1 << uint(l1)

@@ -91,8 +91,12 @@ type linkState struct {
 
 // Network computes operand delivery times and accounts link contention.
 type Network struct {
-	cfg    Config
-	links  map[int32]*linkState // keyed by (router, direction)
+	cfg Config
+	// links is the per-(router, direction) FIFO state, a flat array of
+	// 4 directed links per cluster: index cluster*4+dir. A flat array
+	// instead of a map keeps the per-hop bandwidth charge allocation-free
+	// and branch-cheap on the simulator's hot path.
+	links  []linkState
 	stats  Stats
 	faults FaultModel    // nil = perfect network
 	tr     *trace.Tracer // nil = tracing disabled
@@ -111,7 +115,29 @@ func New(cfg Config) (*Network, error) {
 	if cfg.Width < 1 || cfg.Height < 1 {
 		return nil, fmt.Errorf("noc: bad mesh %dx%d", cfg.Width, cfg.Height)
 	}
-	return &Network{cfg: cfg, links: make(map[int32]*linkState)}, nil
+	return &Network{cfg: cfg, links: make([]linkState, cfg.Width*cfg.Height*4)}, nil
+}
+
+// Reset returns the network to its post-New state under cfg, reusing the
+// link array when the mesh geometry is unchanged. The fault model and
+// tracer attachments are cleared — a reused network belongs to a new run,
+// which must attach its own.
+func (n *Network) Reset(cfg Config) error {
+	if cfg.Width < 1 || cfg.Height < 1 {
+		return fmt.Errorf("noc: bad mesh %dx%d", cfg.Width, cfg.Height)
+	}
+	need := cfg.Width * cfg.Height * 4
+	if need <= cap(n.links) {
+		n.links = n.links[:need]
+		clear(n.links)
+	} else {
+		n.links = make([]linkState, need)
+	}
+	n.cfg = cfg
+	n.stats = Stats{}
+	n.faults = nil
+	n.tr = nil
+	return nil
 }
 
 // Stats returns the counters.
@@ -252,12 +278,7 @@ func (n *Network) acquireLink(cur, next int, t int64) int64 {
 	if n.cfg.LinkBandwidth <= 0 {
 		return t
 	}
-	key := int32(cur)<<8 | int32(linkDir(cur, next, n.cfg.Width))
-	ls := n.links[key]
-	if ls == nil {
-		ls = &linkState{cycle: -1}
-		n.links[key] = ls
-	}
+	ls := &n.links[cur*4+linkDir(cur, next, n.cfg.Width)]
 	switch {
 	case t > ls.cycle:
 		ls.cycle = t

@@ -1,0 +1,271 @@
+package tagtable
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTableDifferential drives a Table and a builtin map through the same
+// randomized operation stream and demands identical observable behaviour.
+func TestTableDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var tab Table
+	ref := map[uint64]int64{}
+	keys := make([]uint64, 0, 512)
+	for op := 0; op < 200_000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4: // insert/overwrite
+			k := uint64(rng.Intn(300))
+			v := rng.Int63()
+			tab.Put(k, v)
+			ref[k] = v
+			keys = append(keys, k)
+		case r < 7: // lookup
+			k := uint64(rng.Intn(300))
+			gv, gok := tab.Get(k)
+			wv, wok := ref[k]
+			if gok != wok || gv != wv {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", op, k, gv, gok, wv, wok)
+			}
+		default: // delete
+			k := uint64(rng.Intn(300))
+			gok := tab.Delete(k)
+			_, wok := ref[k]
+			delete(ref, k)
+			if gok != wok {
+				t.Fatalf("op %d: Delete(%d) = %v want %v", op, k, gok, wok)
+			}
+		}
+		if tab.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d want %d", op, tab.Len(), len(ref))
+		}
+	}
+	// Full sweep at the end.
+	seen := map[uint64]int64{}
+	tab.Range(func(k uint64, v int64) bool { seen[k] = v; return true })
+	if len(seen) != len(ref) {
+		t.Fatalf("Range visited %d entries, want %d", len(seen), len(ref))
+	}
+	for k, v := range ref {
+		if seen[k] != v {
+			t.Fatalf("Range saw %d=%d, want %d", k, seen[k], v)
+		}
+	}
+}
+
+// TestTableZeroKey pins that key 0 (the packed boot tag) is a first-class
+// key, not an empty-slot sentinel.
+func TestTableZeroKey(t *testing.T) {
+	var tab Table
+	tab.Put(0, 42)
+	if v, ok := tab.Get(0); !ok || v != 42 {
+		t.Fatalf("Get(0) = %d,%v want 42,true", v, ok)
+	}
+	if !tab.Delete(0) {
+		t.Fatal("Delete(0) = false")
+	}
+	if _, ok := tab.Get(0); ok {
+		t.Fatal("key 0 survived deletion")
+	}
+}
+
+// TestTableResetKeepsCapacity pins the arena contract: Reset empties the
+// table without shrinking it, and refilling to the prior occupancy does
+// not grow the backing array.
+func TestTableResetKeepsCapacity(t *testing.T) {
+	var tab Table
+	for i := uint64(0); i < 1000; i++ {
+		tab.Put(i, int64(i))
+	}
+	capBefore := len(tab.slots)
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", tab.Len())
+	}
+	if _, ok := tab.Get(7); ok {
+		t.Fatal("entry survived Reset")
+	}
+	for i := uint64(0); i < 1000; i++ {
+		tab.Put(i, int64(i))
+	}
+	if len(tab.slots) != capBefore {
+		t.Fatalf("backing array grew across Reset: %d -> %d", capBefore, len(tab.slots))
+	}
+}
+
+// TestTableChurnStaysAllocationFree pins the steady-state contract: after
+// warm-up, insert/lookup/delete churn performs zero allocations.
+func TestTableChurnStaysAllocationFree(t *testing.T) {
+	var tab Table
+	for i := uint64(0); i < 64; i++ {
+		tab.Put(i, int64(i))
+	}
+	for i := uint64(0); i < 64; i++ {
+		tab.Delete(i)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := uint64(0); i < 64; i++ {
+			tab.Put(i, int64(i))
+		}
+		for i := uint64(0); i < 64; i++ {
+			if _, ok := tab.Get(i); !ok {
+				t.Fatal("lost key")
+			}
+		}
+		for i := uint64(0); i < 64; i++ {
+			tab.Delete(i)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state churn allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSlab exercises alloc/release/reset and the zeroing guarantee.
+func TestSlab(t *testing.T) {
+	type rec struct{ a, b int64 }
+	var s Slab[rec]
+	i := s.Alloc()
+	s.At(i).a = 7
+	j := s.Alloc()
+	s.At(j).b = 9
+	if i == j {
+		t.Fatal("distinct allocations shared an index")
+	}
+	s.Release(i)
+	k := s.Alloc()
+	if k != i {
+		t.Fatalf("freelist did not recycle: got %d want %d", k, i)
+	}
+	if *s.At(k) != (rec{}) {
+		t.Fatalf("recycled record not zeroed: %+v", *s.At(k))
+	}
+	s.Reset()
+	if got := s.Alloc(); got != 0 {
+		t.Fatalf("first alloc after Reset = %d, want 0", got)
+	}
+}
+
+// TestSlabChurnStaysAllocationFree pins the freelist contract.
+func TestSlabChurnStaysAllocationFree(t *testing.T) {
+	var s Slab[[3]int64]
+	idx := make([]int32, 32)
+	for i := range idx {
+		idx[i] = s.Alloc()
+	}
+	for _, i := range idx {
+		s.Release(i)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range idx {
+			idx[i] = s.Alloc()
+		}
+		for _, i := range idx {
+			s.Release(i)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state slab churn allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// The benchmarks below compare the Table against the builtin map on the
+// simulator's churn pattern: insert a tag, look it up a few times, delete
+// it — millions of times per run with a small live population.
+
+const benchLive = 64
+
+func BenchmarkTableChurn(b *testing.B) {
+	var tab Table
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)
+		tab.Put(k, int64(i))
+		tab.Get(k)
+		if i >= benchLive {
+			tab.Delete(uint64(i - benchLive))
+		}
+	}
+}
+
+func BenchmarkMapChurn(b *testing.B) {
+	m := map[uint64]int64{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)
+		m[k] = int64(i)
+		_ = m[k]
+		if i >= benchLive {
+			delete(m, uint64(i-benchLive))
+		}
+	}
+}
+
+// BenchmarkOperandMatch* model the pattern the Table actually replaces in
+// the WaveCache: per-tag operand-tuple assembly. The first token of a tag
+// allocates a tuple and inserts it; the matching token looks it up,
+// completes it, and deletes it. The old representation paid a heap
+// allocation per tuple (map[Tag]*operands); the Table + Slab pair recycles
+// tuple storage through a freelist.
+
+func BenchmarkOperandMatchTable(b *testing.B) {
+	type entry struct {
+		vals [3]int64
+		have uint8
+	}
+	var tab Table
+	var slab Slab[entry]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)
+		idx := slab.Alloc()
+		e := slab.At(idx)
+		e.vals[0], e.have = int64(i), 1
+		tab.Put(k, int64(idx))
+		got, _ := tab.Get(k)
+		e = slab.At(int32(got))
+		e.vals[1], e.have = int64(i), 3
+		tab.Delete(k)
+		slab.Release(int32(got))
+	}
+}
+
+func BenchmarkOperandMatchMap(b *testing.B) {
+	type entry struct {
+		vals [3]int64
+		have uint8
+	}
+	m := map[uint64]*entry{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)
+		e := &entry{}
+		e.vals[0], e.have = int64(i), 1
+		m[k] = e
+		e = m[k]
+		e.vals[1], e.have = int64(i), 3
+		delete(m, k)
+	}
+}
+
+func BenchmarkTableHit(b *testing.B) {
+	var tab Table
+	for i := uint64(0); i < benchLive; i++ {
+		tab.Put(i, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Get(uint64(i % benchLive))
+	}
+}
+
+func BenchmarkMapHit(b *testing.B) {
+	m := map[uint64]int64{}
+	for i := uint64(0); i < benchLive; i++ {
+		m[i] = int64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m[uint64(i%benchLive)]
+	}
+}

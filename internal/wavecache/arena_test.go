@@ -1,0 +1,109 @@
+package wavecache
+
+import (
+	"testing"
+
+	"wavescalar/internal/placement"
+	"wavescalar/internal/testprogs"
+)
+
+// TestArenaReuseBitIdentical pins the Arena contract: a reused arena — even
+// one hopping between different programs and machine shapes — produces
+// Results bit-identical to a fresh simulator for every run.
+func TestArenaReuseBitIdentical(t *testing.T) {
+	progs := []struct {
+		name string
+		src  string
+	}{
+		{testprogs.Heavy[0].Name, testprogs.Heavy[0].Src},
+		{testprogs.Heavy[1].Name, testprogs.Heavy[1].Src},
+	}
+	shapes := [][2]int{{1, 1}, {2, 2}}
+
+	a := NewArena()
+	for round := 0; round < 2; round++ {
+		for _, pr := range progs {
+			wp := compileSource(t, pr.src)
+			for _, sh := range shapes {
+				cfg := DefaultConfig(sh[0], sh[1])
+				want, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
+				if err != nil {
+					t.Fatalf("%s %dx%d fresh: %v", pr.name, sh[0], sh[1], err)
+				}
+				got, err := a.Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
+				if err != nil {
+					t.Fatalf("%s %dx%d arena: %v", pr.name, sh[0], sh[1], err)
+				}
+				if got != want {
+					t.Fatalf("%s %dx%d round %d: arena result diverged\n got %+v\nwant %+v",
+						pr.name, sh[0], sh[1], round, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaSteadyStateAllocs pins the tentpole claim: once an arena has
+// run a workload at a shape, re-running that cell allocates (nearly)
+// nothing inside the simulator. The placement policy is constructed fresh
+// per run — as the concurrency contract requires — so the budget subtracts
+// its construction cost, isolating the simulator's own fire/deliver/memory
+// path.
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	wp := compileSource(t, testprogs.Heavy[0].Src)
+	cfg := DefaultConfig(2, 2)
+	a := NewArena()
+	// Warm the arena to its high-water mark.
+	for i := 0; i < 2; i++ {
+		if _, err := a.Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	polOnly := testing.AllocsPerRun(5, func() {
+		mustPol(placement.NewDynamicSnake(cfg.Machine))
+	})
+	cell := testing.AllocsPerRun(5, func() {
+		if _, err := a.Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	simAllocs := cell - polOnly
+	t.Logf("policy construction: %.0f allocs; full cell: %.0f allocs; simulator core: %.0f allocs", polOnly, cell, simAllocs)
+	// The pre-pooling simulator allocated on the order of 10^5 times for
+	// this cell; the budget is a hard regression tripwire, not a tuning
+	// target.
+	if simAllocs > 64 {
+		t.Fatalf("steady-state simulator core allocated %.0f times per run, budget 64", simAllocs)
+	}
+}
+
+// BenchmarkRunFresh/BenchmarkRunArena measure what arena reuse saves on a
+// full simulation cell.
+func BenchmarkRunFresh(b *testing.B) {
+	wp := compileSource(b, testprogs.Heavy[0].Src)
+	cfg := DefaultConfig(2, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunArena(b *testing.B) {
+	wp := compileSource(b, testprogs.Heavy[0].Src)
+	cfg := DefaultConfig(2, 2)
+	a := NewArena()
+	if _, err := a.Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,11 +19,23 @@
 // The simulator is discrete-event: tokens and memory messages carry
 // timestamps, PEs and store buffers serialize at one operation per cycle,
 // and the run's cycle count is the latest timestamp processed.
+//
+// Allocation discipline: the inner loop is allocation-free in steady state.
+// Events live in a pooled slab ordered by an index-based 4-ary min-heap
+// (no interface boxing, records recycled on delivery); per-instruction
+// operand matching, PE residency, context metadata, and wave-to-buffer
+// bindings use internal/tagtable's open-addressed tables and slabs; memory
+// requests and their reply-routing cookies recycle through freelists fed by
+// the ordering engine's releaser hook. An Arena reuses all of this state —
+// plus the network, memory hierarchy, and ordering engine — across runs.
+// None of the pooling can perturb results: every pool hands out storage in
+// an order that is a pure function of the (totally ordered) event schedule,
+// and recycled records carry no state across uses.
 package wavecache
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"wavescalar/internal/fault"
@@ -32,6 +44,7 @@ import (
 	"wavescalar/internal/noc"
 	"wavescalar/internal/placement"
 	"wavescalar/internal/profile"
+	"wavescalar/internal/tagtable"
 	"wavescalar/internal/trace"
 	"wavescalar/internal/waveorder"
 )
@@ -184,19 +197,101 @@ type event struct {
 	req *waveorder.Request
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
+// eventQueue is a pooled priority queue: events live in a slab addressed by
+// index (recycled through a freelist when delivered), and a 4-ary min-heap
+// of indices orders them by (time, seq). Compared to container/heap this
+// drops the per-push interface boxing and per-event allocation, and the
+// wider fan-out halves sift-down depth on the simulator's deep queues.
+// (time, seq) is a strict total order — seq is unique — so ANY correct heap
+// yields the same pop sequence; swapping heap implementations cannot change
+// results.
+type eventQueue struct {
+	slab []event
+	free []int32
+	heap []int32
+	seq  uint64
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() *event  { return h[0] }
+
+func (q *eventQueue) reset() {
+	q.slab = q.slab[:0]
+	q.free = q.free[:0]
+	q.heap = q.heap[:0]
+	q.seq = 0
+}
+
+func (q *eventQueue) len() int { return len(q.heap) }
+
+// alloc returns the index of a zeroed event record.
+func (q *eventQueue) alloc() int32 {
+	if n := len(q.free); n > 0 {
+		i := q.free[n-1]
+		q.free = q.free[:n-1]
+		q.slab[i] = event{}
+		return i
+	}
+	q.slab = append(q.slab, event{})
+	return int32(len(q.slab) - 1)
+}
+
+// release recycles a delivered event's slab index.
+func (q *eventQueue) release(i int32) { q.free = append(q.free, i) }
+
+func (q *eventQueue) less(a, b int32) bool {
+	ea, eb := &q.slab[a], &q.slab[b]
+	if ea.time != eb.time {
+		return ea.time < eb.time
+	}
+	return ea.seq < eb.seq
+}
+
+// push stamps the event's tiebreak sequence and sifts it into the heap.
+func (q *eventQueue) push(i int32) {
+	q.slab[i].seq = q.seq
+	q.seq++
+	q.heap = append(q.heap, i)
+	c := len(q.heap) - 1
+	for c > 0 {
+		p := (c - 1) / 4
+		if !q.less(q.heap[c], q.heap[p]) {
+			break
+		}
+		q.heap[c], q.heap[p] = q.heap[p], q.heap[c]
+		c = p
+	}
+}
+
+// pop removes and returns the minimum event's slab index. The caller must
+// copy the event out before the next alloc (growth may move the slab) and
+// release the index when done.
+func (q *eventQueue) pop() int32 {
+	top := q.heap[0]
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap = q.heap[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		m := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(q.heap[c], q.heap[m]) {
+				m = c
+			}
+		}
+		if !q.less(q.heap[m], q.heap[i]) {
+			break
+		}
+		q.heap[i], q.heap[m] = q.heap[m], q.heap[i]
+		i = m
+	}
+	return top
+}
 
 // operands is a per-tag matching entry.
 type operands struct {
@@ -204,10 +299,13 @@ type operands struct {
 	have uint8
 }
 
-// peState is one processing element.
+// peState is one processing element. The residency set maps packed
+// instruction refs (instrKey) to LRU ticks; ticks are unique per PE, so the
+// LRU victim scan has a unique minimum and its result cannot depend on
+// visit order.
 type peState struct {
 	free     int64 // next cycle the ALU can fire
-	resident map[profile.InstrRef]uint64
+	resident tagtable.Table
 	lruTick  uint64
 	waiting  int // tokens delivered but not yet consumed by a firing
 	used     bool
@@ -230,6 +328,14 @@ type memCookie struct {
 	buf    int // store-buffer cluster bound at submit time
 }
 
+// tagKey packs a dynamic tag into a table key.
+func tagKey(t isa.Tag) uint64 { return uint64(t.Ctx)<<32 | uint64(t.Wave) }
+
+// instrKey packs a static instruction reference into a table key.
+func instrKey(fn isa.FuncID, id isa.InstrID) uint64 {
+	return uint64(uint32(fn))<<32 | uint64(uint32(id))
+}
+
 type sim struct {
 	prog *isa.Program
 	pol  placement.Policy
@@ -238,27 +344,37 @@ type sim struct {
 	net    *noc.Network
 	memsys *mem.System
 	engine *waveorder.Engine
+	clock  func() int64 // stable closure handed to the engine's tracer
 
-	events eventHeap
-	seq    uint64
-	now    int64
-	maxT   int64
+	q    eventQueue
+	now  int64
+	maxT int64
 
-	opstore   []map[isa.Tag]*operands
+	// opstore is the per-static-instruction operand-matching table: packed
+	// tag -> opSlab index of the partially assembled tuple.
+	opstore   []tagtable.Table
+	opSlab    tagtable.Slab[operands]
 	instrBase []int
 	pes       []peState
 	bufBusy   []bufState // per-cluster store-buffer issue bandwidth
 	serialEnd int64      // MemSerial: completion of the in-flight operation
 
 	memImage []int64
-	ctxMeta  map[uint32]ctxInfo
-	nextCtx  uint32
+	// ctxTab maps live context ids to ctxSlab indices holding call metadata.
+	ctxTab  tagtable.Table
+	ctxSlab tagtable.Slab[ctxInfo]
+	nextCtx uint32
 
 	// waveBuf records each dynamic wave's store-buffer cluster (bound at
-	// first touch); entries are removed as requests retire to bound the
-	// map. bufOf caches the binding inside requests instead, so this map
-	// only covers waves with in-flight requests.
-	waveBuf map[isa.Tag]int
+	// first touch), keyed by packed tag.
+	waveBuf tagtable.Table
+
+	// ckSlab pools memCookies; requests carry slab indices, not pointers,
+	// so cookies never box. reqFree pools the Request records themselves,
+	// refilled by the ordering engine's releaser the moment each request
+	// has issued.
+	ckSlab  tagtable.Slab[memCookie]
+	reqFree []*waveorder.Request
 
 	fuel   int64
 	done   bool
@@ -276,118 +392,206 @@ type sim struct {
 	res Result
 }
 
+// Arena is a reusable simulator: it owns the complete mutable memory image
+// of a run (event slab and heap, operand tables, PE state, memory image,
+// network, cache hierarchy, ordering engine, every freelist) and Run resets
+// it in place, so a caller sweeping many configurations — an experiment
+// harness — pays the simulator's allocations once per worker instead of
+// once per cell. Backing arrays are kept at their high-water mark across
+// runs; a shape change (different grid, different program) resizes them and
+// subsequent runs at that shape are allocation-free again.
+//
+// An Arena is not safe for concurrent use and must not be copied after
+// first use (internal closures capture its address). Results are
+// bit-identical to the package-level Run: reuse only recycles storage,
+// never state.
+type Arena struct {
+	s sim
+}
+
+// NewArena returns an empty arena; the first Run sizes it.
+func NewArena() *Arena { return &Arena{} }
+
+// Run simulates a program to completion under a placement policy, reusing
+// the arena's storage. The contract matches the package-level Run.
+func (a *Arena) Run(p *isa.Program, pol placement.Policy, cfg Config) (Result, error) {
+	if err := a.s.reset(p, pol, cfg); err != nil {
+		return Result{}, err
+	}
+	return a.s.run()
+}
+
 // Run simulates a program to completion under a placement policy.
 //
 // Concurrency contract: Run treats p as strictly read-only — the simulator
 // takes interior pointers into p.Funcs[*].Instrs for speed but never
 // writes through them, and its mutable state (memory image, operand
-// stores, PE/buffer state, the ordering engine) is allocated per call
-// from p.InitialMemory() and cfg. Any number of Runs may therefore share
-// one *isa.Program concurrently (exercised under the race detector by
-// TestConcurrentRunsShareProgram). The placement policy IS mutated during
-// the run: construct a fresh Policy per call, with any seed derived
-// deterministically per cell, and never share one across goroutines.
-// Identical (p, policy construction, cfg) inputs produce bit-identical
-// Results.
+// stores, PE/buffer state, the ordering engine) is private to the call.
+// Any number of Runs may therefore share one *isa.Program concurrently
+// (exercised under the race detector by TestConcurrentRunsShareProgram).
+// The placement policy IS mutated during the run: construct a fresh Policy
+// per call, with any seed derived deterministically per cell, and never
+// share one across goroutines. Identical (p, policy construction, cfg)
+// inputs produce bit-identical Results.
 func Run(p *isa.Program, pol placement.Policy, cfg Config) (Result, error) {
-	s, err := newSim(p, pol, cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return s.run()
+	return NewArena().Run(p, pol, cfg)
 }
 
 // RunWithMemory is Run but also returns the final memory image, for the
 // differential test suites.
 func RunWithMemory(p *isa.Program, pol placement.Policy, cfg Config) (Result, []int64, error) {
-	s, err := newSim(p, pol, cfg)
+	a := NewArena()
+	res, err := a.Run(p, pol, cfg)
 	if err != nil {
 		return Result{}, nil, err
 	}
-	res, err := s.run()
-	if err != nil {
-		return Result{}, nil, err
-	}
-	return res, s.memImage, nil
+	return res, a.s.memImage, nil
 }
 
-func newSim(p *isa.Program, pol placement.Policy, cfg Config) (*sim, error) {
+// reset rewinds the simulator to boot state for (p, pol, cfg), reusing
+// every backing array whose shape still fits. It performs exactly the
+// validation newSim used to, in the same order, so error behaviour is
+// unchanged.
+func (s *sim) reset(p *isa.Program, pol placement.Policy, cfg Config) error {
 	if cfg.Fuel == 0 {
 		cfg.Fuel = 200_000_000
 	}
-	net, err := noc.New(cfg.Net)
-	if err != nil {
-		return nil, err
+	if s.net == nil {
+		net, err := noc.New(cfg.Net)
+		if err != nil {
+			return err
+		}
+		s.net = net
+	} else if err := s.net.Reset(cfg.Net); err != nil {
+		return err
 	}
-	memsys, err := mem.NewSystem(cfg.Mem)
-	if err != nil {
-		return nil, err
+	if s.memsys == nil {
+		ms, err := mem.NewSystem(cfg.Mem)
+		if err != nil {
+			return err
+		}
+		s.memsys = ms
+	} else if err := s.memsys.Reset(cfg.Mem); err != nil {
+		return err
 	}
-	s := &sim{
-		prog:     p,
-		pol:      pol,
-		cfg:      cfg,
-		net:      net,
-		memsys:   memsys,
-		memImage: p.InitialMemory(),
-		ctxMeta:  make(map[uint32]ctxInfo),
-		nextCtx:  1,
-		waveBuf:  make(map[isa.Tag]int),
-		fuel:     cfg.Fuel,
-		pes:      make([]peState, cfg.Machine.NumPEs()),
-		bufBusy:  make([]bufState, cfg.Machine.NumClusters()),
-	}
-	for i := range s.pes {
-		s.pes[i].resident = make(map[profile.InstrRef]uint64)
-	}
+
+	s.prog, s.pol, s.cfg = p, pol, cfg
+	s.memImage = p.FillMemory(s.memImage)
+
+	s.q.reset()
+	s.now, s.maxT = 0, 0
+	s.serialEnd = 0
+	s.nextCtx = 1
+	s.fuel = cfg.Fuel
+	s.done, s.result = false, 0
+	s.inj, s.killed, s.memErr = nil, false, nil
+	s.res = Result{}
+
+	s.ctxTab.Reset()
+	s.ctxSlab.Reset()
+	s.waveBuf.Reset()
+	s.ckSlab.Reset()
+	s.opSlab.Reset()
+
 	s.tr = cfg.Tracer
 	if s.tr == nil && cfg.Metrics != nil {
 		// Metrics-only tracing: counters without an event stream.
 		s.tr = trace.New(trace.Config{})
 	}
-	net.AttachTracer(s.tr)
+	s.net.AttachTracer(s.tr)
 	if cfg.Faults.Enabled() {
 		inj, err := fault.NewInjector(cfg.Faults)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.inj = inj
-		net.AttachFaults(inj)
+		s.net.AttachFaults(inj)
 		inj.AttachTracer(s.tr)
 		if cfg.Faults.DefectRate > 0 && cfg.Machine.Defective == nil {
-			return nil, &fault.FaultError{Kind: fault.KindConfig, PE: -1,
+			return &fault.FaultError{Kind: fault.KindConfig, PE: -1,
 				Detail: "DefectRate set but Machine.Defective is nil; install fault.DefectMap before building the placement policy"}
 		}
 		if cfg.Faults.KillCycle > 0 && (cfg.Faults.KillPE < 0 || cfg.Faults.KillPE >= cfg.Machine.NumPEs()) {
-			return nil, &fault.FaultError{Kind: fault.KindConfig, PE: cfg.Faults.KillPE,
+			return &fault.FaultError{Kind: fault.KindConfig, PE: cfg.Faults.KillPE,
 				Detail: fmt.Sprintf("kill PE outside machine (0..%d)", cfg.Machine.NumPEs()-1)}
 		}
 		s.res.Faults.DefectivePEs = fault.CountDefects(cfg.Machine.Defective)
 	}
+
+	s.instrBase = s.instrBase[:0]
 	total := 0
-	s.instrBase = make([]int, len(p.Funcs))
 	for i := range p.Funcs {
-		s.instrBase[i] = total
+		s.instrBase = append(s.instrBase, total)
 		total += len(p.Funcs[i].Instrs)
 	}
-	s.opstore = make([]map[isa.Tag]*operands, total)
-	s.engine = waveorder.NewEngine(0, s.issueMem)
-	if s.tr != nil {
-		s.engine.AttachTracer(s.tr, func() int64 { return s.now })
+	// Resize-then-reset: the reset loops run after the new lengths are
+	// established, so they also scrub any stale records a reslice-up just
+	// exposed from the capacity region.
+	if total <= cap(s.opstore) {
+		s.opstore = s.opstore[:total]
+	} else {
+		s.opstore = make([]tagtable.Table, total)
 	}
-	return s, nil
+	for i := range s.opstore {
+		s.opstore[i].Reset()
+	}
+	npe := cfg.Machine.NumPEs()
+	if npe <= cap(s.pes) {
+		s.pes = s.pes[:npe]
+	} else {
+		s.pes = make([]peState, npe)
+	}
+	for i := range s.pes {
+		ps := &s.pes[i]
+		ps.free, ps.lruTick, ps.waiting, ps.used = 0, 0, 0, false
+		ps.resident.Reset()
+	}
+	nc := cfg.Machine.NumClusters()
+	if nc <= cap(s.bufBusy) {
+		s.bufBusy = s.bufBusy[:nc]
+		clear(s.bufBusy)
+	} else {
+		s.bufBusy = make([]bufState, nc)
+	}
+
+	if s.engine == nil {
+		s.engine = waveorder.NewEngine(0, s.issueMem)
+		s.engine.SetReleaser(func(r *waveorder.Request) { s.reqFree = append(s.reqFree, r) })
+		s.clock = func() int64 { return s.now }
+	} else {
+		s.engine.Reset(0)
+	}
+	s.engine.AttachTracer(s.tr, s.clock)
+	return nil
+}
+
+// allocReq takes a request record from the pool (or allocates one). The
+// caller overwrites every field.
+func (s *sim) allocReq() *waveorder.Request {
+	if n := len(s.reqFree); n > 0 {
+		r := s.reqFree[n-1]
+		s.reqFree = s.reqFree[:n-1]
+		return r
+	}
+	return &waveorder.Request{}
 }
 
 func (s *sim) run() (Result, error) {
 	// Boot: context 0 trigger lands on the entry function's pad 0.
-	s.ctxMeta[0] = ctxInfo{callerFunc: isa.NoFunc, retPad: isa.NoInstr}
+	mi := s.ctxSlab.Alloc()
+	*s.ctxSlab.At(mi) = ctxInfo{callerFunc: isa.NoFunc, retPad: isa.NoInstr}
+	s.ctxTab.Put(0, int64(mi))
 	entry := s.prog.Entry
-	s.push(&event{time: 0, kind: evToken, fn: entry,
-		dest: isa.Dest{Instr: s.prog.Funcs[entry].Params[0], Port: 0},
-		tag:  isa.Tag{Ctx: 0, Wave: 0}})
+	s.pushToken(0, entry,
+		isa.Dest{Instr: s.prog.Funcs[entry].Params[0], Port: 0},
+		isa.Tag{Ctx: 0, Wave: 0}, 0)
 
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(*event)
+	for s.q.len() > 0 {
+		idx := s.q.pop()
+		// Copy the event out before releasing: processing it pushes new
+		// events, and slab growth would move the storage under a pointer.
+		e := s.q.slab[idx]
+		s.q.release(idx)
 		if !s.killed && s.cfg.Faults.KillCycle > 0 && e.time >= s.cfg.Faults.KillCycle {
 			if err := s.killPE(); err != nil {
 				return Result{}, err
@@ -406,9 +610,9 @@ func (s *sim) run() (Result, error) {
 		var err error
 		switch e.kind {
 		case evToken:
-			err = s.deliver(e)
+			err = s.deliver(&e)
 		case evFire:
-			err = s.fire(e)
+			err = s.fire(&e)
 		case evMemArrive:
 			err = s.engine.Submit(e.req)
 			if err == nil {
@@ -449,10 +653,25 @@ func (s *sim) run() (Result, error) {
 	return s.res, nil
 }
 
-func (s *sim) push(e *event) {
-	e.seq = s.seq
-	s.seq++
-	heap.Push(&s.events, e)
+func (s *sim) pushToken(t int64, fn isa.FuncID, d isa.Dest, tag isa.Tag, val int64) {
+	i := s.q.alloc()
+	e := &s.q.slab[i]
+	e.time, e.kind, e.fn, e.dest, e.tag, e.val = t, evToken, fn, d, tag, val
+	s.q.push(i)
+}
+
+func (s *sim) pushFire(t int64, fn isa.FuncID, d isa.Dest, tag isa.Tag, vals [3]int64) {
+	i := s.q.alloc()
+	e := &s.q.slab[i]
+	e.time, e.kind, e.fn, e.dest, e.tag, e.vals = t, evFire, fn, d, tag, vals
+	s.q.push(i)
+}
+
+func (s *sim) pushMem(t int64, req *waveorder.Request) {
+	i := s.q.alloc()
+	e := &s.q.slab[i]
+	e.time, e.kind, e.req = t, evMemArrive, req
+	s.q.push(i)
 }
 
 func (s *sim) homePE(fn isa.FuncID, id isa.InstrID) int {
@@ -482,16 +701,16 @@ func (s *sim) deliver(e *event) error {
 
 	gi := s.instrBase[e.fn] + int(e.dest.Instr)
 	in := &s.prog.Funcs[e.fn].Instrs[e.dest.Instr]
-	store := s.opstore[gi]
-	if store == nil {
-		store = make(map[isa.Tag]*operands)
-		s.opstore[gi] = store
+	tbl := &s.opstore[gi]
+	key := tagKey(e.tag)
+	oi, ok := tbl.Get(key)
+	if !ok {
+		oi = int64(s.opSlab.Alloc())
+		ops := s.opSlab.At(int32(oi))
+		ops.have, ops.vals = in.ImmMask, in.ImmVals
+		tbl.Put(key, oi)
 	}
-	ops := store[e.tag]
-	if ops == nil {
-		ops = &operands{have: in.ImmMask, vals: in.ImmVals}
-		store[e.tag] = ops
-	}
+	ops := s.opSlab.At(int32(oi))
 	bit := uint8(1) << e.dest.Port
 	if ops.have&bit != 0 {
 		return fmt.Errorf("wavecache: token collision at %s/i%d port %d tag %v",
@@ -503,28 +722,34 @@ func (s *sim) deliver(e *event) error {
 	if ops.have != (uint8(1)<<need)-1 {
 		return nil
 	}
-	delete(store, e.tag)
-	ps.waiting -= need - popcount8(in.ImmMask)
+	vals := ops.vals
+	tbl.Delete(key)
+	s.opSlab.Release(int32(oi))
+	ps.waiting -= need - bits.OnesCount8(in.ImmMask)
 
 	// Residency: fetch the instruction into the PE store if absent.
-	ref := profile.InstrRef{Func: e.fn, Instr: e.dest.Instr}
-	if _, ok := ps.resident[ref]; !ok {
+	ref := instrKey(e.fn, e.dest.Instr)
+	if _, resident := ps.resident.Get(ref); !resident {
 		s.res.Swaps++
 		t += s.cfg.SwapPenalty
 		s.tr.Swap(e.time, pe)
-		if len(ps.resident) >= s.cfg.PEStore {
-			var victim profile.InstrRef
-			oldest := ^uint64(0)
-			for r, tick := range ps.resident {
-				if tick < oldest {
-					victim, oldest = r, tick
+		if ps.resident.Len() >= s.cfg.PEStore {
+			// Evict the least recently used instruction. Ticks are unique,
+			// so the minimum — and hence the victim — does not depend on
+			// iteration order.
+			var victim uint64
+			oldest, found := int64(0), false
+			ps.resident.Range(func(k uint64, tick int64) bool {
+				if !found || tick < oldest {
+					victim, oldest, found = k, tick, true
 				}
-			}
-			delete(ps.resident, victim)
+				return true
+			})
+			ps.resident.Delete(victim)
 		}
 	}
 	ps.lruTick++
-	ps.resident[ref] = ps.lruTick
+	ps.resident.Put(ref, int64(ps.lruTick))
 
 	// One firing per PE per cycle.
 	fireAt := t
@@ -533,7 +758,7 @@ func (s *sim) deliver(e *event) error {
 	}
 	ps.free = fireAt + 1
 
-	s.push(&event{time: fireAt, kind: evFire, fn: e.fn, dest: e.dest, tag: e.tag, vals: ops.vals})
+	s.pushFire(fireAt, e.fn, e.dest, e.tag, vals)
 	return nil
 }
 
@@ -547,7 +772,7 @@ func (s *sim) send(fromPE int, fn isa.FuncID, dests []isa.Dest, tag isa.Tag, val
 		if err != nil {
 			return err
 		}
-		s.push(&event{time: arr, kind: evToken, fn: fn, dest: d, tag: tag, val: val})
+		s.pushToken(arr, fn, d, tag, val)
 	}
 	return nil
 }
@@ -598,8 +823,8 @@ func (s *sim) killPE() error {
 	ps := &s.pes[pe]
 	s.res.Faults.PEKills++
 	s.tr.Kill(at, pe)
-	s.res.Faults.MigratedInstrs += uint64(len(ps.resident))
-	ps.resident = make(map[profile.InstrRef]uint64)
+	s.res.Faults.MigratedInstrs += uint64(ps.resident.Len())
+	ps.resident.Reset()
 	ps.waiting = 0
 	ps.free = 0
 	// Record the death in the simulator's defect view (copy-on-write: the
@@ -617,21 +842,21 @@ func (s *sim) killPE() error {
 func (s *sim) diagnose() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "watchdog report: %d events queued, %d instructions fired, t=%d\n",
-		s.events.Len(), s.res.Fired, s.maxT)
+		s.q.len(), s.res.Fired, s.maxT)
 	stuck := 0
 	for i := range s.pes {
 		if s.pes[i].waiting > 0 {
 			if stuck < 16 {
 				fmt.Fprintf(&b, "  pe %d: %d waiting tokens, %d resident instructions\n",
-					i, s.pes[i].waiting, len(s.pes[i].resident))
+					i, s.pes[i].waiting, s.pes[i].resident.Len())
 			}
 			stuck++
 		}
 	}
 	fmt.Fprintf(&b, "  %d PEs hold waiting tokens\n", stuck)
 	partial := 0
-	for _, st := range s.opstore {
-		partial += len(st)
+	for i := range s.opstore {
+		partial += s.opstore[i].Len()
 	}
 	fmt.Fprintf(&b, "  %d partial operand tuples awaiting matches\n", partial)
 	if n := fault.CountDefects(s.cfg.Machine.Defective); n > 0 {
@@ -653,16 +878,18 @@ func (s *sim) diagnose() string {
 // the whole wave, matching the WaveCache's locality-seeking dynamic wave
 // assignment.
 func (s *sim) bufferCluster(tag isa.Tag, requesterPE int) int {
-	if buf, ok := s.waveBuf[tag]; ok {
-		return buf
+	key := tagKey(tag)
+	if buf, ok := s.waveBuf.Get(key); ok {
+		return int(buf)
 	}
 	buf := s.loc(requesterPE).Cluster
-	s.waveBuf[tag] = buf
-	if len(s.waveBuf) > 1<<16 {
-		// In-flight waves are few; a large map means retired entries
+	s.waveBuf.Put(key, int64(buf))
+	if s.waveBuf.Len() > 1<<16 {
+		// In-flight waves are few; a large table means retired entries
 		// linger. Clearing is safe: rebinding only risks a different (still
 		// valid) cluster for stragglers.
-		s.waveBuf = map[isa.Tag]int{tag: buf}
+		s.waveBuf.Reset()
+		s.waveBuf.Put(key, int64(buf))
 	}
 	return buf
 }
@@ -675,13 +902,16 @@ func (s *sim) submitMem(pe int, fn isa.FuncID, id isa.InstrID, in *isa.Instructi
 	if err != nil {
 		return err
 	}
-	req := &waveorder.Request{
+	ci := s.ckSlab.Alloc()
+	*s.ckSlab.At(ci) = memCookie{fn: fn, id: id, tag: tag, fireAt: t, arrive: arr, pe: pe, buf: buf}
+	req := s.allocReq()
+	*req = waveorder.Request{
 		Ctx: tag.Ctx, Wave: tag.Wave,
 		Kind: in.Mem.Kind, Seq: in.Mem.Seq, Pred: in.Mem.Pred, Succ: in.Mem.Succ,
 		Addr: addr, Value: val, ChildCtx: childCtx,
-		Cookie: memCookie{fn: fn, id: id, tag: tag, fireAt: t, arrive: arr, pe: pe, buf: buf},
+		Cookie: int64(ci),
 	}
-	s.push(&event{time: arr, kind: evMemArrive, req: req})
+	s.pushMem(arr, req)
 	return nil
 }
 
@@ -736,7 +966,9 @@ func (s *sim) fire(e *event) error {
 	case in.Op == isa.OpNewCtx:
 		ctx := s.nextCtx
 		s.nextCtx++
-		s.ctxMeta[ctx] = ctxInfo{callerFunc: fn, callerTag: tag, retPad: isa.InstrID(in.TargetPad)}
+		mi := s.ctxSlab.Alloc()
+		*s.ctxSlab.At(mi) = ctxInfo{callerFunc: fn, callerTag: tag, retPad: isa.InstrID(in.TargetPad)}
+		s.ctxTab.Put(uint64(ctx), int64(mi))
 		if in.Mem.Kind == isa.MemCall {
 			if err := s.submitMem(pe, fn, id, in, tag, 0, 0, ctx, t); err != nil {
 				return err
@@ -752,14 +984,15 @@ func (s *sim) fire(e *event) error {
 		if err != nil {
 			return err
 		}
-		s.push(&event{time: arr, kind: evToken, fn: callee,
-			dest: isa.Dest{Instr: pad, Port: 0}, tag: isa.Tag{Ctx: ctx, Wave: 0}, val: vals[1]})
+		s.pushToken(arr, callee, isa.Dest{Instr: pad, Port: 0}, isa.Tag{Ctx: ctx, Wave: 0}, vals[1])
 	case in.Op == isa.OpReturn:
-		meta, ok := s.ctxMeta[tag.Ctx]
+		mv, ok := s.ctxTab.Get(uint64(tag.Ctx))
 		if !ok {
 			return fmt.Errorf("wavecache: return in unknown context %d", tag.Ctx)
 		}
-		delete(s.ctxMeta, tag.Ctx)
+		meta := *s.ctxSlab.At(int32(mv))
+		s.ctxTab.Delete(uint64(tag.Ctx))
+		s.ctxSlab.Release(int32(mv))
 		if in.Mem.Kind == isa.MemEnd {
 			if err := s.submitMem(pe, fn, id, in, tag, 0, 0, 0, t); err != nil {
 				return err
@@ -775,8 +1008,7 @@ func (s *sim) fire(e *event) error {
 		if err != nil {
 			return err
 		}
-		s.push(&event{time: arr, kind: evToken, fn: meta.callerFunc,
-			dest: isa.Dest{Instr: meta.retPad, Port: 0}, tag: meta.callerTag, val: vals[0]})
+		s.pushToken(arr, meta.callerFunc, isa.Dest{Instr: meta.retPad, Port: 0}, meta.callerTag, vals[0])
 	default:
 		return fmt.Errorf("wavecache: cannot execute opcode %s", in.Op)
 	}
@@ -786,7 +1018,9 @@ func (s *sim) fire(e *event) error {
 // issueMem runs when the ordering engine releases a request in program
 // order; it performs the timed cache access and routes load replies.
 func (s *sim) issueMem(r *waveorder.Request) {
-	ck := r.Cookie.(memCookie)
+	ci := int32(r.Cookie)
+	ck := *s.ckSlab.At(ci)
+	s.ckSlab.Release(ci)
 	buf := ck.buf
 	// The ordering stall is how long the request sat buffered waiting for
 	// its wave chain to resolve: issue happens at the current event time,
@@ -825,7 +1059,7 @@ func (s *sim) issueMem(r *waveorder.Request) {
 				}
 				return
 			}
-			s.push(&event{time: arr, kind: evToken, fn: ck.fn, dest: d, tag: ck.tag, val: v})
+			s.pushToken(arr, ck.fn, d, ck.tag, v)
 		}
 	case isa.MemStore:
 		start := s.bufIssueTime(buf)
@@ -877,14 +1111,6 @@ func (s *sim) bufIssueTime(cluster int) int64 {
 		bs.used = 1
 	}
 	return bs.cycle
-}
-
-func popcount8(x uint8) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
 }
 
 func clampAddr(a int64, n int) int64 {

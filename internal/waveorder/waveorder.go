@@ -30,6 +30,14 @@
 // through the IssueFunc callback. Timing simulators wrap it and charge
 // whatever latency their store-buffer hardware implies; the functional
 // interpreter calls it directly.
+//
+// Allocation discipline: the engine recycles its per-context and per-wave
+// buffering state through internal freelists, and — when a releaser is
+// installed with SetReleaser — hands each Request back to its creator the
+// moment it can no longer be referenced, so a hosting simulator can pool
+// request records and keep the whole submit/issue path allocation-free in
+// steady state. Reset rewinds the engine for a fresh run while keeping
+// every backing array.
 package waveorder
 
 import (
@@ -57,9 +65,11 @@ type Request struct {
 
 	ChildCtx uint32 // MemCall: the context whose sequence splices in here
 
-	// Cookie is an opaque slot for the submitting engine (e.g. which
-	// processing element awaits a load reply).
-	Cookie any
+	// Cookie is an opaque handle for the submitting engine (e.g. an index
+	// into its pool of reply-routing records). It is an integer rather
+	// than an interface so that carrying per-request metadata never boxes
+	// (a per-message heap allocation on the simulator's hot path).
+	Cookie int64
 }
 
 func (r *Request) String() string {
@@ -82,41 +92,74 @@ func seqStr(s int32) string {
 // IssueFunc receives requests in program order, exactly once each.
 type IssueFunc func(*Request)
 
-// waveState buffers the not-yet-issued requests of one dynamic wave.
+// waveState buffers the not-yet-issued requests of one dynamic wave: a
+// small insertion-ordered slice, scanned backwards so that a duplicate
+// annotation shadows an earlier one exactly as it did in the map-based
+// representation. Waves buffer few requests at a time (the store buffer's
+// occupancy), so linear scans beat hashing and allocate nothing.
 type waveState struct {
-	bySeq  map[int32]*Request
-	byPred map[int32]*Request
+	reqs []*Request
 }
 
-func newWaveState() *waveState {
-	return &waveState{bySeq: make(map[int32]*Request), byPred: make(map[int32]*Request)}
-}
+func (w *waveState) add(r *Request) { w.reqs = append(w.reqs, r) }
 
-func (w *waveState) add(r *Request) {
-	w.bySeq[r.Seq] = r
-	if r.Pred != isa.SeqWildcard {
-		w.byPred[r.Pred] = r
+// bySeq finds the latest-added buffered request with the given sequence
+// number.
+func (w *waveState) bySeq(seq int32) *Request {
+	for i := len(w.reqs) - 1; i >= 0; i-- {
+		if w.reqs[i].Seq == seq {
+			return w.reqs[i]
+		}
 	}
+	return nil
 }
 
+// byPred finds the latest-added buffered request whose predecessor
+// annotation names pred. Callers only pass real sequence numbers or
+// SeqStart, never SeqWildcard, so wildcard predecessors are never matched.
+func (w *waveState) byPred(pred int32) *Request {
+	for i := len(w.reqs) - 1; i >= 0; i-- {
+		if w.reqs[i].Pred == pred {
+			return w.reqs[i]
+		}
+	}
+	return nil
+}
+
+// remove deletes the exact request r, preserving insertion order.
 func (w *waveState) remove(r *Request) {
-	delete(w.bySeq, r.Seq)
-	if r.Pred != isa.SeqWildcard {
-		delete(w.byPred, r.Pred)
+	for i := range w.reqs {
+		if w.reqs[i] == r {
+			w.reqs = append(w.reqs[:i], w.reqs[i+1:]...)
+			return
+		}
 	}
 }
 
-func (w *waveState) empty() bool { return len(w.bySeq) == 0 }
+func (w *waveState) empty() bool { return len(w.reqs) == 0 }
 
-// ctxState is the ordering state of one function activation.
+// ctxState is the ordering state of one function activation. The chain
+// position is carried as scalars (lastSeq/lastSucc) rather than a retained
+// *Request so issued requests can be recycled immediately.
 type ctxState struct {
-	id       uint32
-	waves    map[uint32]*waveState
-	curWave  uint32
-	last     *Request // last issued request of curWave; nil at wave start
-	parent   *ctxState
-	callSlot *Request // the MemCall in parent that spliced this context in
-	ended    bool
+	id      uint32
+	waves   map[uint32]*waveState
+	curWave uint32
+
+	// hasLast/lastSeq/lastSucc describe the last issued request of
+	// curWave; hasLast is false at a wave start.
+	hasLast  bool
+	lastSeq  int32
+	lastSucc int32
+
+	parent *ctxState
+	// spliced records that a MemCall has bound this context into its
+	// parent's chain; callSeq/callSucc are that call slot's annotations.
+	spliced  bool
+	callSeq  int32
+	callSucc int32
+
+	ended bool
 }
 
 func (c *ctxState) wave(n uint32) *waveState {
@@ -131,13 +174,19 @@ func (c *ctxState) wave(n uint32) *waveState {
 // Engine assembles wave-ordered memory requests into the thread's total
 // program order.
 type Engine struct {
-	issue IssueFunc
-	ctxs  map[uint32]*ctxState
-	top   *ctxState // innermost active context (issue point)
-	root  *ctxState
+	issue   IssueFunc
+	release func(*Request) // optional: receives each dead request
+	ctxs    map[uint32]*ctxState
+	top     *ctxState // innermost active context (issue point)
+	root    *ctxState
 
 	pending int
 	stats   Stats
+
+	// Freelists: context and wave buffering state recycled across
+	// activations and runs (their maps and slices keep their capacity).
+	csPool []*ctxState
+	wsPool []*waveState
 
 	// Structured tracing (nil when disabled). The engine is purely
 	// logical, so the hosting simulator supplies the clock that stamps
@@ -165,14 +214,90 @@ type Stats struct {
 // rootCtx, wave 0. Each issued request is delivered to issue exactly once,
 // in program order.
 func NewEngine(rootCtx uint32, issue IssueFunc) *Engine {
-	root := &ctxState{id: rootCtx, waves: make(map[uint32]*waveState)}
 	e := &Engine{
 		issue: issue,
-		ctxs:  map[uint32]*ctxState{rootCtx: root},
-		top:   root,
-		root:  root,
+		ctxs:  make(map[uint32]*ctxState),
 	}
+	root := e.newCtxState(rootCtx)
+	e.ctxs[rootCtx] = root
+	e.top = root
+	e.root = root
 	return e
+}
+
+// Reset rewinds the engine to the state NewEngine leaves it in — a fresh
+// total order rooted at rootCtx — while keeping every backing array
+// (context/wave freelists, the context map's buckets) for reuse. The issue
+// callback, releaser, and tracer attachments are preserved.
+func (e *Engine) Reset(rootCtx uint32) {
+	for id, c := range e.ctxs {
+		e.releaseCtx(c)
+		delete(e.ctxs, id)
+	}
+	root := e.newCtxState(rootCtx)
+	e.ctxs[rootCtx] = root
+	e.top = root
+	e.root = root
+	e.pending = 0
+	e.stats = Stats{}
+}
+
+// SetReleaser installs the request-recycling hook: each request is handed
+// to f exactly once, after its issue callback has run and the engine holds
+// no further reference to it. Requests buffered at Reset are NOT released
+// (the hosting pool is expected to be reset alongside the engine). Pass
+// nil to disable recycling.
+func (e *Engine) SetReleaser(f func(*Request)) { e.release = f }
+
+// newCtxState takes a context from the freelist (or allocates one) and
+// initializes it for the given id.
+func (e *Engine) newCtxState(id uint32) *ctxState {
+	var c *ctxState
+	if n := len(e.csPool); n > 0 {
+		c = e.csPool[n-1]
+		e.csPool = e.csPool[:n-1]
+		*c = ctxState{waves: c.waves}
+	} else {
+		c = &ctxState{waves: make(map[uint32]*waveState)}
+	}
+	c.id = id
+	return c
+}
+
+// releaseCtx recycles a context and any wave state still buffered in it.
+func (e *Engine) releaseCtx(c *ctxState) {
+	for n, w := range c.waves {
+		e.releaseWave(w)
+		delete(c.waves, n)
+	}
+	e.csPool = append(e.csPool, c)
+}
+
+func (e *Engine) releaseWave(w *waveState) {
+	w.reqs = w.reqs[:0]
+	e.wsPool = append(e.wsPool, w)
+}
+
+func newWaveState() *waveState { return &waveState{} }
+
+// wavePooled takes a wave buffer from the freelist or allocates one.
+func (e *Engine) wavePooled() *waveState {
+	if n := len(e.wsPool); n > 0 {
+		w := e.wsPool[n-1]
+		e.wsPool = e.wsPool[:n-1]
+		return w
+	}
+	return &waveState{}
+}
+
+// waveOf returns (creating if needed) c's buffer for wave n.
+func (e *Engine) waveOf(c *ctxState, n uint32) *waveState {
+	w := c.waves[n]
+	if w == nil {
+		w = e.wavePooled()
+		c.waves[n] = w
+	}
+	return w
 }
 
 // Stats returns a copy of the engine's counters.
@@ -203,10 +328,10 @@ func (e *Engine) Submit(r *Request) error {
 	}
 	c := e.ctxs[r.Ctx]
 	if c == nil {
-		c = &ctxState{id: r.Ctx, waves: make(map[uint32]*waveState)}
+		c = e.newCtxState(r.Ctx)
 		e.ctxs[r.Ctx] = c
 	}
-	c.wave(r.Wave).add(r)
+	e.waveOf(c, r.Wave).add(r)
 	e.pending++
 	if e.pending > e.stats.MaxPending {
 		e.stats.MaxPending = e.pending
@@ -232,16 +357,16 @@ func (e *Engine) drain() error {
 			return nil
 		}
 		var next *Request
-		if c.last == nil {
+		if !c.hasLast {
 			// Wave start: the entry operation names SeqStart as its
 			// predecessor.
-			next = w.byPred[isa.SeqStart]
+			next = w.byPred(isa.SeqStart)
 		} else {
-			if c.last.Succ != isa.SeqWildcard && c.last.Succ != isa.SeqEnd {
-				next = w.bySeq[c.last.Succ]
+			if c.lastSucc != isa.SeqWildcard && c.lastSucc != isa.SeqEnd {
+				next = w.bySeq(c.lastSucc)
 			}
 			if next == nil {
-				next = w.byPred[c.last.Seq]
+				next = w.byPred(c.lastSeq)
 			}
 		}
 		if next == nil {
@@ -250,6 +375,7 @@ func (e *Engine) drain() error {
 		w.remove(next)
 		if w.empty() {
 			delete(c.waves, c.curWave)
+			e.releaseWave(w)
 		}
 		e.pending--
 		if err := e.issueOne(c, next); err != nil {
@@ -282,15 +408,18 @@ func (e *Engine) issueOne(c *ctxState, r *Request) error {
 		// resumes the parent (at this call slot) when its MemEnd issues.
 		child := e.ctxs[r.ChildCtx]
 		if child == nil {
-			child = &ctxState{id: r.ChildCtx, waves: make(map[uint32]*waveState)}
+			child = e.newCtxState(r.ChildCtx)
 			e.ctxs[r.ChildCtx] = child
 		}
-		if child.parent != nil {
+		if child.spliced {
 			return fmt.Errorf("waveorder: context %d spliced twice (second call slot %v)", r.ChildCtx, r)
 		}
 		child.parent = c
-		child.callSlot = r
+		child.spliced = true
+		child.callSeq = r.Seq
+		child.callSucc = r.Succ
 		e.top = child
+		e.recycle(r)
 	case isa.MemEnd:
 		c.ended = true
 		delete(e.ctxs, c.id)
@@ -298,21 +427,37 @@ func (e *Engine) issueOne(c *ctxState, r *Request) error {
 			e.top = c.parent
 			// The call slot is now the parent's last issued operation; if
 			// it closed the parent's wave, advance it.
-			e.top.last = c.callSlot
-			if c.callSlot.Succ == isa.SeqEnd {
+			e.top.hasLast = true
+			e.top.lastSeq = c.callSeq
+			e.top.lastSucc = c.callSucc
+			if c.callSucc == isa.SeqEnd {
 				e.completeWave(e.top)
 			}
 		} else {
 			e.top = nil
 		}
+		e.releaseCtx(c)
+		e.recycle(r)
 		return nil
 	default:
-		c.last = r
-	}
-	if r.Kind != isa.MemCall && r.Succ == isa.SeqEnd {
-		e.completeWave(c)
+		c.hasLast = true
+		c.lastSeq = r.Seq
+		c.lastSucc = r.Succ
+		if r.Succ == isa.SeqEnd {
+			e.completeWave(c)
+		}
+		e.recycle(r)
 	}
 	return nil
+}
+
+// recycle hands a dead request back to the hosting pool, if one is
+// installed. At this point the engine holds no reference to r: the chain
+// position lives on as scalars in its context.
+func (e *Engine) recycle(r *Request) {
+	if e.release != nil {
+		e.release(r)
+	}
 }
 
 func (e *Engine) completeWave(c *ctxState) {
@@ -321,11 +466,12 @@ func (e *Engine) completeWave(c *ctxState) {
 		e.tr.WaveDone(e.clock(), c.id, c.curWave)
 	}
 	c.curWave++
-	c.last = nil
+	c.hasLast = false
 }
 
 // DebugState renders the engine's buffered requests; used in tests and by
-// the simulators' deadlock diagnostics.
+// the simulators' deadlock diagnostics. Output is deterministic: contexts
+// and waves sort by number, requests print in arrival order.
 func (e *Engine) DebugState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "pending=%d top=", e.pending)
@@ -333,8 +479,8 @@ func (e *Engine) DebugState() string {
 		b.WriteString("<none>")
 	} else {
 		fmt.Fprintf(&b, "ctx%d w%d", e.top.id, e.top.curWave)
-		if e.top.last != nil {
-			fmt.Fprintf(&b, " last=%s(succ %s)", seqStr(e.top.last.Seq), seqStr(e.top.last.Succ))
+		if e.top.hasLast {
+			fmt.Fprintf(&b, " last=%s(succ %s)", seqStr(e.top.lastSeq), seqStr(e.top.lastSucc))
 		} else {
 			b.WriteString(" last=^")
 		}
@@ -347,8 +493,13 @@ func (e *Engine) DebugState() string {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		c := e.ctxs[id]
-		for wn, w := range c.waves {
-			for _, r := range w.bySeq {
+		wns := make([]uint32, 0, len(c.waves))
+		for wn := range c.waves {
+			wns = append(wns, wn)
+		}
+		sort.Slice(wns, func(i, j int) bool { return wns[i] < wns[j] })
+		for _, wn := range wns {
+			for _, r := range c.waves[wn].reqs {
 				fmt.Fprintf(&b, "  ctx%d w%d: %v\n", id, wn, r)
 			}
 		}
