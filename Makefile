@@ -5,12 +5,13 @@
 
 GO ?= go
 
-.PHONY: ci check vet build test race bench bench-base bench-cmp fuzz
+.PHONY: ci check vet build test race bench bench-base bench-cmp fuzz fuzz-diff corpus
 
 ci: vet build test race
 
-# check is the fast pre-commit gate: vet + build + tests, no race pass.
-check: vet build test
+# check is the fast pre-commit gate: vet + build + tests (no race pass),
+# plus a short corpus-differential fuzz smoke.
+check: vet build test fuzz-diff
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +31,25 @@ FUZZTIME ?= 10s
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/asm
+
+# fuzz-diff is the corpus-differential smoke: generated programs across
+# all workload families, each checked for agreement across all nine
+# engines (see internal/testprogs/differential_fuzz_test.go).
+DIFFFUZZTIME ?= 20s
+
+fuzz-diff:
+	$(GO) test -run='^$$' -fuzz=FuzzDifferential -fuzztime=$(DIFFFUZZTIME) ./internal/testprogs
+
+# corpus runs the E13 sweep in miniature: 250 generated programs (50
+# seeds per family). The full acceptance sweep is
+#   go run ./cmd/waveexp -corpus 500 -corpus-seed 1
+# and CORPUS/CORPUSFLAGS parameterize either (e.g.
+#   make corpus CORPUSFLAGS='-cache-dir .corpus-cache -resume').
+CORPUS ?= 250
+CORPUSFLAGS ?=
+
+corpus:
+	$(GO) run ./cmd/waveexp -corpus $(CORPUS) -corpus-seed 1 $(CORPUSFLAGS)
 
 # bench regenerates the reduced-configuration experiment benchmarks,
 # including the harness worker-pool wall-clock comparison

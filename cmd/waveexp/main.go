@@ -8,11 +8,23 @@
 //	waveexp [-experiments E1,E4] [-benches fft,lu] [-grid 4x4] [-j 8]
 //	        [-metrics] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	        [-out results.txt]
+//	waveexp -corpus N [-corpus-seed S] [-cache-dir DIR] [-shard k/n]
+//	        [-resume] [-j 8] [-out results.txt]
 //
 // Compilation and the experiments' simulation cells fan out across -j
 // worker goroutines (default: one per CPU). The tables are byte-identical
 // at any -j setting — results are collected by cell index, never by
 // completion order — so only the timing lines vary between runs.
+//
+// -corpus N switches to experiment E13: N generated workload programs
+// (seeded by -corpus-seed, round-robin across the testprogs corpus
+// families) each differentially verified across all nine engines and
+// aggregated into a per-family pass-rate and AIPC table. With -cache-dir
+// the sweep is resumable (-resume skips cells whose cached result
+// validates) and shardable (-shard k/n computes every n-th cell starting
+// at k; separate shard invocations sharing a cache dir merge on read into
+// one byte-identical table). -out is written atomically (temp file +
+// rename), so an interrupted sweep never leaves a truncated results file.
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -34,13 +47,18 @@ func main() {
 	exps := flag.String("experiments", "", "comma-separated experiment IDs (default: all)")
 	benches := flag.String("benches", "", "comma-separated workloads (default: all; available: "+strings.Join(workloads.Names(), ",")+")")
 	grid := flag.String("grid", "4x4", "cluster grid, WxH")
-	outPath := flag.String("out", "", "write results to this file instead of stdout")
+	outPath := flag.String("out", "", "write results to this file instead of stdout (atomic: temp file + rename)")
 	unroll := flag.Int("unroll", 4, "loop unrolling factor")
 	jobs := flag.Int("j", runtime.NumCPU(), "worker goroutines for compilation and simulation cells (1 = sequential)")
 	metrics := flag.Bool("metrics", false,
 		"aggregate WaveCache trace metrics across each experiment's cells and print a summary table after it")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (go tool pprof format) to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	corpusN := flag.Int("corpus", 0, "run experiment E13 over N generated corpus programs instead of the experiment suite")
+	corpusSeed := flag.Int64("corpus-seed", 1, "base seed for the generated corpus (reproduces the corpus bit-for-bit)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed cell cache directory for resumable/shardable corpus sweeps")
+	shard := flag.String("shard", "", "compute only shard k of n corpus cells, as k/n (e.g. 1/4); other cells merge from -cache-dir")
+	resume := flag.Bool("resume", false, "skip corpus cells whose cached result validates (requires -cache-dir)")
 	flag.Parse()
 	if *jobs < 1 {
 		fatal(fmt.Errorf("-j must be >= 1, got %d", *jobs))
@@ -52,14 +70,20 @@ func main() {
 	stopProfiles = stop
 	defer stop()
 
-	var out io.Writer = os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
+	out, commit, err := openOut(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *corpusN > 0 {
+		runCorpus(out, *corpusN, *corpusSeed, *cacheDir, *shard, *resume, *jobs)
+		if err := commit(); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		out = io.MultiWriter(os.Stdout, f)
+		return
+	}
+	if *shard != "" || *resume || *cacheDir != "" {
+		fatal(fmt.Errorf("-shard/-resume/-cache-dir apply only to -corpus sweeps"))
 	}
 
 	var names []string
@@ -108,6 +132,82 @@ func main() {
 		}
 	}
 	fmt.Fprintf(out, "\ntotal time: %v\n", time.Since(start).Round(time.Millisecond))
+	if err := commit(); err != nil {
+		fatal(err)
+	}
+}
+
+// runCorpus executes the E13 corpus sweep. Only deterministic content —
+// the section header and the table — goes to out, so an -out file from a
+// sharded, resumed, or cached run is byte-identical to a single
+// invocation's; run statistics and timing go to stderr.
+func runCorpus(out io.Writer, n int, seed int64, cacheDir, shard string, resume bool, jobs int) {
+	o := harness.CorpusOptions{
+		N:        n,
+		Seed:     seed,
+		CacheDir: cacheDir,
+		Resume:   resume,
+		Compile:  harness.DefaultCompileOptions(),
+		Machine:  harness.DefaultCorpusMachine(),
+	}
+	o.Compile.Workers = jobs
+	o.Machine.Workers = jobs
+	if shard != "" {
+		if _, err := fmt.Sscanf(shard, "%d/%d", &o.Shard, &o.Shards); err != nil || o.Shards < 1 || o.Shard < 1 || o.Shard > o.Shards {
+			fatal(fmt.Errorf("bad -shard %q (want k/n with 1 <= k <= n)", shard))
+		}
+	}
+	if (resume || shard != "") && cacheDir == "" {
+		fatal(fmt.Errorf("-resume and -shard need -cache-dir to share cells across invocations"))
+	}
+	start := time.Now()
+	run, err := harness.RunCorpus(o)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(out, "\n## E13 — generated-corpus differential sweep\n\n")
+	fmt.Fprintln(out, run.Table.Render())
+	fmt.Fprintf(os.Stderr, "corpus: %d cells (%d computed, %d cached, %d missing", n, run.Computed, run.Cached, run.Missing)
+	if run.CorruptEntries > 0 {
+		fmt.Fprintf(os.Stderr, ", %d corrupt entries recomputed", run.CorruptEntries)
+	}
+	fmt.Fprintf(os.Stderr, ") in %v\n", time.Since(start).Round(time.Millisecond))
+	if run.Mismatched > 0 {
+		fatal(fmt.Errorf("%d corpus cells had cross-engine mismatches", run.Mismatched))
+	}
+}
+
+// openOut resolves the -out destination. Writes stream to stdout and —
+// when path is non-empty — to a temp file beside it; commit atomically
+// renames the temp file into place, so an interrupted or failed sweep
+// never leaves a truncated results file where a complete one belongs.
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanupOut = func() { tmp.Close(); os.Remove(tmp.Name()) }
+	commit := func() error {
+		cleanupOut = nil
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		return nil
+	}
+	return io.MultiWriter(os.Stdout, tmp), commit, nil
 }
 
 func pick(names []string) []string {
@@ -118,8 +218,13 @@ func pick(names []string) []string {
 }
 
 // stopProfiles flushes any active profiles; fatal calls it so -cpuprofile
-// output survives error exits (os.Exit skips defers).
-var stopProfiles func()
+// output survives error exits (os.Exit skips defers). cleanupOut removes
+// a pending -out temp file on the same path, so failures leave neither a
+// truncated result nor a stray temp file.
+var (
+	stopProfiles func()
+	cleanupOut   func()
+)
 
 // startProfiles begins CPU profiling (when cpu is non-empty) and arranges
 // an allocation-profile snapshot at stop (when heap is non-empty). The
@@ -165,6 +270,9 @@ func startProfiles(cpu, heap string) (func(), error) {
 func fatal(err error) {
 	if stopProfiles != nil {
 		stopProfiles()
+	}
+	if cleanupOut != nil {
+		cleanupOut()
 	}
 	fmt.Fprintln(os.Stderr, "waveexp:", err)
 	os.Exit(1)

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// CellCache is the content-addressed on-disk cell store behind resumable,
+// shardable sweeps. Each completed simulation cell is one small JSON file
+// named by the SHA-256 of everything that determines its result (workload
+// spec, machine and compile configuration, engine-set version), so:
+//
+//   - a -resume run recognizes completed cells across invocations,
+//   - -shard k/n runs from separate processes drop their cells into the
+//     same directory and a later read merges them (merge-on-read: the
+//     aggregate is rebuilt from cells, never from partial tables),
+//   - any configuration or engine change produces different keys, never
+//     a stale hit.
+//
+// Entries are written atomically (temp file + rename in the same
+// directory) and carry an internal payload checksum: a torn, truncated,
+// or bit-rotted entry is detected on read and treated as a miss — the
+// cell is recomputed, never trusted.
+type CellCache struct {
+	dir     string
+	corrupt atomic.Int64
+}
+
+// NewCellCache opens (creating if needed) a cache rooted at dir.
+func NewCellCache(dir string) (*CellCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cellcache: %w", err)
+	}
+	return &CellCache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (cc *CellCache) Dir() string { return cc.dir }
+
+// Corrupt returns how many unreadable entries this cache has discarded —
+// observability for tests and sweep logs, not a failure signal (each
+// corrupt entry is simply recomputed).
+func (cc *CellCache) Corrupt() int64 { return cc.corrupt.Load() }
+
+// CacheKey hashes an ordered list of strings into a hex cell key. Parts
+// are length-prefixed so distinct part lists can never collide by
+// concatenation.
+func CacheKey(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheEnvelope wraps a cell payload with its own key (guards against a
+// file renamed or copied to the wrong name) and the payload's SHA-256.
+type cacheEnvelope struct {
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// path shards entries across 256 subdirectories so corpus-scale sweeps
+// (tens of thousands of cells) do not pile every file into one directory.
+func (cc *CellCache) path(key string) string {
+	return filepath.Join(cc.dir, key[:2], key+".json")
+}
+
+// Get loads the cell stored under key into v. It returns false — a miss
+// to be recomputed — for absent entries and for any entry that fails
+// validation: unparseable JSON, a key mismatch, or a payload checksum
+// mismatch (truncation, torn write, bit rot).
+func (cc *CellCache) Get(key string, v any) bool {
+	data, err := os.ReadFile(cc.path(key))
+	if err != nil {
+		return false
+	}
+	var env cacheEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		cc.discard(key)
+		return false
+	}
+	sum := sha256.Sum256(env.Payload)
+	if env.Key != key || env.Sum != hex.EncodeToString(sum[:]) {
+		cc.discard(key)
+		return false
+	}
+	if err := json.Unmarshal(env.Payload, v); err != nil {
+		cc.discard(key)
+		return false
+	}
+	return true
+}
+
+// discard counts and removes a corrupt entry so the slot is clean for the
+// recomputed cell (removal is best-effort; Put overwrites atomically
+// anyway).
+func (cc *CellCache) discard(key string) {
+	cc.corrupt.Add(1)
+	os.Remove(cc.path(key))
+}
+
+// Put stores v under key atomically: marshal, write to a temp file in the
+// destination directory, fsync, rename. A sweep killed mid-Put leaves
+// only a stray temp file, never a truncated entry under a valid name.
+func (cc *CellCache) Put(key string, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cellcache: marshal: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	env := cacheEnvelope{Key: key, Sum: hex.EncodeToString(sum[:]), Payload: payload}
+	data, err := json.Marshal(&env)
+	if err != nil {
+		return fmt.Errorf("cellcache: marshal: %w", err)
+	}
+	dst := cc.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("cellcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+key[:8]+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cellcache: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cellcache: write %s: %w", key[:8], err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cellcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cellcache: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type cachedThing struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+func TestCellCacheRoundTrip(t *testing.T) {
+	cc, err := NewCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey("spec", "config", "engines-v1")
+	var miss cachedThing
+	if cc.Get(key, &miss) {
+		t.Fatal("hit on empty cache")
+	}
+	want := cachedThing{Name: "cell", Value: 1 << 62}
+	if err := cc.Put(key, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got cachedThing
+	if !cc.Get(key, &got) {
+		t.Fatal("miss after Put")
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+	if cc.Corrupt() != 0 {
+		t.Fatalf("clean cache reported %d corrupt entries", cc.Corrupt())
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	base := CacheKey("a", "b")
+	if CacheKey("a", "b") != base {
+		t.Fatal("CacheKey not deterministic")
+	}
+	for _, parts := range [][]string{{"a", "c"}, {"a"}, {"ab"}, {"a", "b", ""}, {"", "ab"}} {
+		if CacheKey(parts...) == base {
+			t.Fatalf("CacheKey(%q) collided with CacheKey(a, b)", parts)
+		}
+	}
+}
+
+// TestCellCacheCorruption: truncated, bit-flipped, wrong-keyed, and
+// garbage entries must all read as misses (and be counted), never be
+// trusted — the caller recomputes and the recomputed Put heals the slot.
+func TestCellCacheCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(data []byte) []byte
+	}{
+		{"truncated", func(d []byte) []byte { return d[:len(d)/2] }},
+		{"bit-flip", func(d []byte) []byte {
+			// Flip a payload digit: the envelope stays parseable but the
+			// checksum no longer matches.
+			s := string(d)
+			i := strings.Index(s, `"value":`) + len(`"value":`)
+			out := []byte(s)
+			if out[i] == '1' {
+				out[i] = '2'
+			} else {
+				out[i] = '1'
+			}
+			return out
+		}},
+		{"garbage", func(d []byte) []byte { return []byte("not json at all") }},
+		{"empty", func(d []byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cc, err := NewCellCache(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := CacheKey("cell", tc.name)
+			want := cachedThing{Name: tc.name, Value: 123456789}
+			if err := cc.Put(key, &want); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(cc.Dir(), key[:2], key+".json")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var got cachedThing
+			if cc.Get(key, &got) {
+				t.Fatalf("corrupt entry (%s) trusted: %+v", tc.name, got)
+			}
+			if cc.Corrupt() != 1 {
+				t.Fatalf("corrupt count %d, want 1", cc.Corrupt())
+			}
+			// Recompute-and-Put heals the slot.
+			if err := cc.Put(key, &want); err != nil {
+				t.Fatal(err)
+			}
+			if !cc.Get(key, &got) || got != want {
+				t.Fatalf("healed entry unreadable: %+v", got)
+			}
+		})
+	}
+}
+
+// TestCellCacheWrongKeyFile: an entry copied under another cell's name
+// (e.g. a botched manual merge of two cache dirs) must not be trusted.
+func TestCellCacheWrongKeyFile(t *testing.T) {
+	cc, err := NewCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := CacheKey("one"), CacheKey("two")
+	if err := cc.Put(k1, &cachedThing{Name: "one", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(cc.Dir(), k1[:2], k1+".json")
+	dst := filepath.Join(cc.Dir(), k2[:2], k2+".json")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got cachedThing
+	if cc.Get(k2, &got) {
+		t.Fatalf("entry with mismatched key trusted: %+v", got)
+	}
+}
+
+// TestCellCacheNoTempLeaks: Put must leave only the entry, no temp files.
+func TestCellCacheNoTempLeaks(t *testing.T) {
+	cc, err := NewCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := cc.Put(CacheKey("n", string(rune('a'+i))), &cachedThing{Value: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = filepath.Walk(cc.Dir(), func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && !strings.HasSuffix(path, ".json") {
+			t.Errorf("stray file %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"fmt"
+
+	"wavescalar/internal/interp"
+	"wavescalar/internal/lang"
+	"wavescalar/internal/linear"
+	"wavescalar/internal/ooo"
+	"wavescalar/internal/wavecache"
+)
+
+// EngineSetVersion names the current semantics of the engine table below.
+// It is part of every corpus cell-cache key: bump it whenever an engine's
+// observable behavior changes (new engine, simulator counter fix, compile
+// pipeline change), and stale cached cells stop matching instead of
+// silently polluting resumed sweeps. Being a source constant, the version
+// is visible in git history alongside the change that required the bump.
+const EngineSetVersion = "engines-v1"
+
+// EngineRun is one engine's observation of a program: the final checksum
+// every engine must agree on, and — for the timing engines — the
+// simulated cycle count (0 for the untimed functional engines).
+type EngineRun struct {
+	Value  int64
+	Cycles int64
+}
+
+// Engine is one execution engine of the differential suite.
+type Engine struct {
+	Name string
+	Run  func(c *Compiled) (EngineRun, error)
+}
+
+// Engines is the single authoritative engine table: the AST evaluator,
+// the linear emulator, the dataflow interpreter on all three compiled
+// binaries, the WaveCache timing simulator in all three memory modes, and
+// the out-of-order baseline — nine engines. The differential test, the
+// FuzzDifferential target, and the waveexp corpus sweep all share this
+// definition, so the engine list cannot drift between test and
+// production.
+func Engines(m MachineOptions) []Engine {
+	waveEngine := func(mode wavecache.MemoryMode) func(c *Compiled) (EngineRun, error) {
+		return func(c *Compiled) (EngineRun, error) {
+			cfg := m.WaveConfig()
+			cfg.MemMode = mode
+			pol, err := m.NewPolicy(c.Wave)
+			if err != nil {
+				return EngineRun{}, err
+			}
+			res, err := wavecache.Run(c.Wave, pol, cfg)
+			return EngineRun{Value: res.Value, Cycles: res.Cycles}, err
+		}
+	}
+	return []Engine{
+		{"ast-evaluator", func(c *Compiled) (EngineRun, error) {
+			v, err := lang.EvalProgram(c.Source())
+			return EngineRun{Value: v}, err
+		}},
+		{"linear-emulator", func(c *Compiled) (EngineRun, error) {
+			v, err := linear.NewEmulator(c.Linear, 0).Run()
+			return EngineRun{Value: v}, err
+		}},
+		{"interp-steer", func(c *Compiled) (EngineRun, error) {
+			v, err := interp.New(c.Wave, 0).Run()
+			return EngineRun{Value: v}, err
+		}},
+		{"interp-select", func(c *Compiled) (EngineRun, error) {
+			v, err := interp.New(c.WaveSel, 0).Run()
+			return EngineRun{Value: v}, err
+		}},
+		{"interp-rolled", func(c *Compiled) (EngineRun, error) {
+			v, err := interp.New(c.WaveNoUn, 0).Run()
+			return EngineRun{Value: v}, err
+		}},
+		{"wavecache-" + wavecache.MemOrdered.String(), waveEngine(wavecache.MemOrdered)},
+		{"wavecache-" + wavecache.MemSerial.String(), waveEngine(wavecache.MemSerial)},
+		{"wavecache-" + wavecache.MemIdeal.String(), waveEngine(wavecache.MemIdeal)},
+		{"ooo", func(c *Compiled) (EngineRun, error) {
+			res, err := ooo.Run(c.Linear, DefaultOoOConfig())
+			return EngineRun{Value: res.Value, Cycles: res.Cycles}, err
+		}},
+	}
+}
+
+// EngineNames lists the engine table's names (for cache keys and docs).
+func EngineNames(m MachineOptions) []string {
+	engines := Engines(m)
+	out := make([]string, len(engines))
+	for i, e := range engines {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// EngineResult is one engine's outcome on one program, in a form that
+// serializes losslessly into the corpus cell cache (int64s round-trip
+// exactly through encoding/json into typed fields).
+type EngineResult struct {
+	Engine string `json:"engine"`
+	Value  int64  `json:"value"`
+	Cycles int64  `json:"cycles,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// DiffResult is a full cross-engine differential verdict for one program.
+type DiffResult struct {
+	Name    string
+	Want    int64 // the compile-time checksum every engine must reproduce
+	Results []EngineResult
+}
+
+// Mismatches lists the engines that failed or disagreed with Want.
+func (d *DiffResult) Mismatches() []string {
+	var out []string
+	for _, r := range d.Results {
+		switch {
+		case r.Err != "":
+			out = append(out, fmt.Sprintf("%s: %s", r.Engine, r.Err))
+		case r.Value != d.Want:
+			out = append(out, fmt.Sprintf("%s: checksum %d, want %d", r.Engine, r.Value, d.Want))
+		}
+	}
+	return out
+}
+
+// Pass reports whether every engine agreed.
+func (d *DiffResult) Pass() bool { return len(d.Mismatches()) == 0 }
+
+// RunDifferential executes a compiled program on every engine and
+// collects the verdict. Engine errors are recorded, not returned: a
+// corpus sweep must survive a single bad cell and report it.
+func RunDifferential(c *Compiled, engines []Engine) *DiffResult {
+	d := &DiffResult{Name: c.Name, Want: c.Checksum, Results: make([]EngineResult, len(engines))}
+	for i, e := range engines {
+		run, err := e.Run(c)
+		d.Results[i] = EngineResult{Engine: e.Name, Value: run.Value, Cycles: run.Cycles}
+		if err != nil {
+			d.Results[i].Err = err.Error()
+		}
+	}
+	return d
+}

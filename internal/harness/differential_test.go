@@ -3,13 +3,6 @@ package harness
 import (
 	"sync"
 	"testing"
-
-	"wavescalar/internal/interp"
-	"wavescalar/internal/lang"
-	"wavescalar/internal/linear"
-	"wavescalar/internal/ooo"
-	"wavescalar/internal/wavecache"
-	"wavescalar/internal/workloads"
 )
 
 // fullSuite caches the whole compiled benchmark suite across the
@@ -33,55 +26,19 @@ func fullSet(t *testing.T) []*Compiled {
 }
 
 // TestDifferentialChecksums is the cross-engine correctness suite: for
-// every workload, every execution engine in the repo — the AST evaluator,
-// the linear emulator, the dataflow interpreter (on all three compiled
-// binaries), the WaveCache timing simulator (in all three memory modes),
-// and the out-of-order baseline — must agree on the final checksum.
+// every workload, every execution engine in the repo — the shared
+// Engines() table: the AST evaluator, the linear emulator, the dataflow
+// interpreter (on all three compiled binaries), the WaveCache timing
+// simulator (in all three memory modes), and the out-of-order baseline —
+// must agree on the final checksum.
 func TestDifferentialChecksums(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite differential sweep is slow")
 	}
 	set := fullSet(t)
-	m := quickMachine()
-
-	waveEngine := func(mode wavecache.MemoryMode) func(c *Compiled) (int64, error) {
-		return func(c *Compiled) (int64, error) {
-			cfg := m.WaveConfig()
-			cfg.MemMode = mode
-			pol, err := m.NewPolicy(c.Wave)
-			if err != nil {
-				return 0, err
-			}
-			res, err := wavecache.Run(c.Wave, pol, cfg)
-			return res.Value, err
-		}
-	}
-	engines := []struct {
-		name string
-		run  func(c *Compiled) (int64, error)
-	}{
-		{"ast-evaluator", func(c *Compiled) (int64, error) {
-			return lang.EvalProgram(workloads.ByName(c.Name).Src)
-		}},
-		{"linear-emulator", func(c *Compiled) (int64, error) {
-			return linear.NewEmulator(c.Linear, 0).Run()
-		}},
-		{"interp-steer", func(c *Compiled) (int64, error) {
-			return interp.New(c.Wave, 0).Run()
-		}},
-		{"interp-select", func(c *Compiled) (int64, error) {
-			return interp.New(c.WaveSel, 0).Run()
-		}},
-		{"interp-rolled", func(c *Compiled) (int64, error) {
-			return interp.New(c.WaveNoUn, 0).Run()
-		}},
-		{"wavecache-" + wavecache.MemOrdered.String(), waveEngine(wavecache.MemOrdered)},
-		{"wavecache-" + wavecache.MemSerial.String(), waveEngine(wavecache.MemSerial)},
-		{"wavecache-" + wavecache.MemIdeal.String(), waveEngine(wavecache.MemIdeal)},
-		{"ooo", func(c *Compiled) (int64, error) {
-			res, err := ooo.Run(c.Linear, DefaultOoOConfig())
-			return res.Value, err
-		}},
+	engines := Engines(quickMachine())
+	if len(engines) != 9 {
+		t.Fatalf("engine table has %d engines, want 9", len(engines))
 	}
 
 	for _, c := range set {
@@ -90,17 +47,41 @@ func TestDifferentialChecksums(t *testing.T) {
 			t.Parallel()
 			for _, e := range engines {
 				e := e
-				t.Run(e.name, func(t *testing.T) {
+				t.Run(e.Name, func(t *testing.T) {
 					t.Parallel()
-					got, err := e.run(c)
+					got, err := e.Run(c)
 					if err != nil {
 						t.Fatal(err)
 					}
-					if got != c.Checksum {
-						t.Errorf("checksum %d, want %d", got, c.Checksum)
+					if got.Value != c.Checksum {
+						t.Errorf("checksum %d, want %d", got.Value, c.Checksum)
 					}
 				})
 			}
 		})
+	}
+}
+
+// TestRunDifferential exercises the reusable runner on one workload: all
+// engines must agree (Pass), and the timing engines must report cycles.
+func TestRunDifferential(t *testing.T) {
+	set := quickSet(t)
+	d := RunDifferential(set[0], Engines(quickMachine()))
+	if !d.Pass() {
+		t.Fatalf("differential mismatches: %v", d.Mismatches())
+	}
+	if d.Want != set[0].Checksum || d.Name != set[0].Name {
+		t.Errorf("verdict header wrong: %+v", d)
+	}
+	cycles := map[string]bool{}
+	for _, r := range d.Results {
+		if r.Cycles > 0 {
+			cycles[r.Engine] = true
+		}
+	}
+	for _, e := range []string{"wavecache-wave-ordered", "ooo"} {
+		if !cycles[e] {
+			t.Errorf("timing engine %s reported no cycles (have %v)", e, cycles)
+		}
 	}
 }

@@ -40,6 +40,7 @@ import (
 type Compiled struct {
 	Name     string
 	Mirrors  string
+	Src      string       // the wsl source (the AST-evaluator engine's input)
 	Wave     *isa.Program // steer-based dataflow binary
 	WaveSel  *isa.Program // φ-select (if-converted) dataflow binary
 	WaveNoUn *isa.Program // without loop unrolling (E11)
@@ -63,21 +64,46 @@ type CompileOptions struct {
 // paper's Alpha toolchain would.
 func DefaultCompileOptions() CompileOptions { return CompileOptions{Unroll: 4} }
 
+// Source returns the program's wsl source, falling back to the named
+// workload's source for Compiled values predating the Src field.
+func (c *Compiled) Source() string {
+	if c.Src != "" {
+		return c.Src
+	}
+	if w := workloads.ByName(c.Name); w != nil {
+		return w.Src
+	}
+	return ""
+}
+
 // CompileWorkload builds one workload through the full pipeline.
 func CompileWorkload(w *workloads.Workload, opts CompileOptions) (*Compiled, error) {
-	c := &Compiled{Name: w.Name, Mirrors: w.Mirrors}
+	c, err := CompileSource(w.Name, w.Src, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.Mirrors = w.Mirrors
+	return c, nil
+}
+
+// CompileSource builds an arbitrary wsl source — a named workload or a
+// generated corpus program — through the full pipeline, cross-checking
+// the linear emulator's checksum against the AST evaluator exactly as the
+// workload path always has.
+func CompileSource(name, src string, opts CompileOptions) (*Compiled, error) {
+	c := &Compiled{Name: name, Src: src}
 
 	build := func(unroll int, waveOpts wavec.Options) (*isa.Program, *cfgir.Program, error) {
-		f, err := lang.ParseAndCheck(w.Src)
+		f, err := lang.ParseAndCheck(src)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s: frontend: %w", w.Name, err)
+			return nil, nil, fmt.Errorf("%s: frontend: %w", name, err)
 		}
 		if unroll > 1 {
 			lang.Unroll(f, unroll)
 		}
 		p, err := cfgir.Build(f)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s: build: %w", w.Name, err)
+			return nil, nil, fmt.Errorf("%s: build: %w", name, err)
 		}
 		for _, fn := range p.Funcs {
 			fn.Compact()
@@ -85,7 +111,7 @@ func CompileWorkload(w *workloads.Workload, opts CompileOptions) (*Compiled, err
 		p.Optimize()
 		wp, err := wavec.Compile(p, waveOpts)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s: wavec: %w", w.Name, err)
+			return nil, nil, fmt.Errorf("%s: wavec: %w", name, err)
 		}
 		return wp, p, nil
 	}
@@ -99,9 +125,9 @@ func CompileWorkload(w *workloads.Workload, opts CompileOptions) (*Compiled, err
 	// (edge splitting) but that does not change semantics or instruction
 	// counts materially, so rebuild cleanly for fairness.
 	{
-		f, err := lang.ParseAndCheck(w.Src)
+		f, err := lang.ParseAndCheck(src)
 		if err != nil {
-			return nil, fmt.Errorf("%s: frontend: %w", w.Name, err)
+			return nil, fmt.Errorf("%s: frontend: %w", name, err)
 		}
 		if opts.Unroll > 1 {
 			lang.Unroll(f, opts.Unroll)
@@ -129,17 +155,17 @@ func CompileWorkload(w *workloads.Workload, opts CompileOptions) (*Compiled, err
 	em := linear.NewEmulator(c.Linear, 0)
 	c.Checksum, err = em.Run()
 	if err != nil {
-		return nil, fmt.Errorf("%s: linear emulator: %w", w.Name, err)
+		return nil, fmt.Errorf("%s: linear emulator: %w", name, err)
 	}
 	c.UsefulInstrs = em.Instrs
 
 	// Cross-check against the AST evaluator.
-	want, err := lang.EvalProgram(w.Src)
+	want, err := lang.EvalProgram(src)
 	if err != nil {
 		return nil, err
 	}
 	if want != c.Checksum {
-		return nil, fmt.Errorf("%s: linear checksum %d != evaluator %d", w.Name, c.Checksum, want)
+		return nil, fmt.Errorf("%s: linear checksum %d != evaluator %d", name, c.Checksum, want)
 	}
 	return c, nil
 }
@@ -178,6 +204,11 @@ type MachineOptions struct {
 	InputQueue int
 	// Policy names the placement policy.
 	Policy string
+	// MaxCycles bounds each WaveCache cell's simulated time (0 = no
+	// bound); corpus sweeps over generated programs set it so a
+	// pathological cell aborts with a watchdog error instead of hanging
+	// the sweep.
+	MaxCycles int64
 	// Workers bounds the goroutines an experiment fans its simulation
 	// cells across (0 = one per CPU, 1 = sequential). Any value produces
 	// byte-identical tables: cells collect results by index, never by
@@ -203,6 +234,7 @@ func (m MachineOptions) WaveConfig() wavecache.Config {
 	cfg.Machine.Capacity = m.Density
 	cfg.InputQueue = m.InputQueue
 	cfg.Metrics = m.Metrics
+	cfg.MaxCycles = m.MaxCycles
 	return cfg
 }
 

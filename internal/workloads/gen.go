@@ -1,0 +1,45 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+
+	"wavescalar/internal/testprogs"
+)
+
+// Generated corpus programs are addressable as workloads under
+// "gen:family:seed[:size]" names (testprogs.CorpusSpec.Name). They are
+// synthesized on demand and never appear in Names()/All — the static
+// benchmark suite and every experiment table stay exactly as before —
+// but anything that resolves workloads by name (waveexp -benches, the
+// harness) can pull an individual corpus program for a closer look.
+var (
+	genMu    sync.Mutex
+	genCache = map[string]*Workload{}
+)
+
+// synthesize resolves a "gen:..." name to a generated workload, or nil if
+// the name does not parse as a corpus spec.
+func synthesize(name string) *Workload {
+	spec, ok := testprogs.ParseSpecName(name)
+	if !ok {
+		return nil
+	}
+	genMu.Lock()
+	defer genMu.Unlock()
+	if w, ok := genCache[name]; ok {
+		return w
+	}
+	src, err := testprogs.GenerateSpec(spec)
+	if err != nil {
+		return nil
+	}
+	w := &Workload{
+		Name:        name,
+		Mirrors:     "generated corpus (" + spec.Family + " family)",
+		Description: fmt.Sprintf("Seeded %s-family corpus program (seed %d, size %d); reproduced bit-for-bit by its spec.", spec.Family, spec.Seed, spec.Size),
+		Src:         src,
+	}
+	genCache[name] = w
+	return w
+}

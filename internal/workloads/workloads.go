@@ -15,12 +15,17 @@ type Workload struct {
 	Src         string
 }
 
-// ByName returns the named workload, or nil.
+// ByName returns the named workload, or nil. Names of the form
+// "gen:family:seed[:size]" resolve to generated corpus programs,
+// synthesized on demand (see gen.go); they are not part of Names().
 func ByName(name string) *Workload {
 	for i := range All {
 		if All[i].Name == name {
 			return &All[i]
 		}
+	}
+	if len(name) > 4 && name[:4] == "gen:" {
+		return synthesize(name)
 	}
 	return nil
 }

@@ -76,6 +76,37 @@ func TestLookupHelpers(t *testing.T) {
 	if len(Names()) != len(All) {
 		t.Error("Names length mismatch")
 	}
+}
+
+// TestGeneratedNames: "gen:family:seed[:size]" names synthesize corpus
+// workloads on demand without ever joining the static suite.
+func TestGeneratedNames(t *testing.T) {
+	w := ByName("gen:pointer:42")
+	if w == nil {
+		t.Fatal("gen:pointer:42 did not synthesize")
+	}
+	if got, err := lang.EvalProgram(w.Src); err != nil || got == 0 {
+		t.Fatalf("generated workload does not run: checksum=%d err=%v", got, err)
+	}
+	if ByName("gen:pointer:42") != w {
+		t.Error("synthesized workload not cached")
+	}
+	if w2 := ByName("gen:pointer:42:3"); w2 == nil || w2.Src == w.Src {
+		t.Error("size knob did not change the program")
+	}
+	for _, bad := range []string{"gen:", "gen:pointer", "gen:nofam:1", "gen:pointer:x", "gen:pointer:1:9"} {
+		if ByName(bad) != nil {
+			t.Errorf("invalid name %q resolved", bad)
+		}
+	}
+	for _, name := range Names() {
+		if len(name) > 4 && name[:4] == "gen:" {
+			t.Errorf("generated workload %q leaked into Names()", name)
+		}
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
 	seen := map[string]bool{}
 	for _, w := range All {
 		if w.Name == "" || w.Mirrors == "" || w.Description == "" {
