@@ -5,13 +5,14 @@
 
 GO ?= go
 
-.PHONY: ci check vet build test race bench bench-base bench-cmp fuzz fuzz-diff corpus
+.PHONY: ci check vet build test race soak bench bench-base bench-cmp fuzz fuzz-diff corpus
 
 ci: vet build test race
 
-# check is the fast pre-commit gate: vet + build + tests (no race pass),
-# plus a short corpus-differential fuzz smoke.
-check: vet build test fuzz-diff
+# check is the fast pre-commit gate: vet + build + tests (no full race
+# pass), plus the short service soak under -race and a corpus-differential
+# fuzz smoke.
+check: vet build test soak fuzz-diff
 
 vet:
 	$(GO) vet ./...
@@ -22,8 +23,22 @@ build:
 test:
 	$(GO) test ./...
 
+# The harness package alone runs ~10 minutes under the race detector (the
+# full experiment suite at race-instrumented speed), so the pass needs more
+# than go test's default 10-minute per-package timeout.
 race:
-	$(GO) test -race ./internal/parallel ./internal/harness ./internal/wavecache ./internal/ooo ./internal/fault ./internal/noc ./internal/waveorder ./internal/trace ./internal/tagtable
+	$(GO) test -race -timeout 30m ./internal/parallel ./internal/harness ./internal/wavecache ./internal/ooo ./internal/fault ./internal/noc ./internal/waveorder ./internal/trace ./internal/tagtable ./internal/serve
+
+# soak hammers the waved service layer under the race detector: hundreds
+# of concurrent mixed requests across multiple tenants against an
+# undersized server, asserting byte-identical results, structured
+# shedding, prompt deadline cancellation, a clean drain, and no goroutine
+# leaks (see internal/serve/soak_test.go). SOAKFLAGS=-short runs the
+# abbreviated version.
+SOAKFLAGS ?=
+
+soak:
+	$(GO) test -race -run 'TestSoak' -v $(SOAKFLAGS) ./internal/serve
 
 # fuzz runs the native fuzz targets for a short burst — a smoke pass, not
 # a soak; crashes land in testdata/fuzz/ as usual.

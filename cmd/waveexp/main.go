@@ -38,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"wavescalar/internal/cli"
 	"wavescalar/internal/harness"
 	"wavescalar/internal/trace"
 	"wavescalar/internal/workloads"
@@ -59,6 +60,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "content-addressed cell cache directory for resumable/shardable corpus sweeps")
 	shard := flag.String("shard", "", "compute only shard k of n corpus cells, as k/n (e.g. 1/4); other cells merge from -cache-dir")
 	resume := flag.Bool("resume", false, "skip corpus cells whose cached result validates (requires -cache-dir)")
+	cachePrune := flag.String("cache-prune", "",
+		"prune the -cache-dir cell cache first: age=DUR,size=BYTES (e.g. age=24h,size=256MB); with no -corpus, prune only and exit")
 	flag.Parse()
 	if *jobs < 1 {
 		fatal(fmt.Errorf("-j must be >= 1, got %d", *jobs))
@@ -73,6 +76,32 @@ func main() {
 	out, commit, err := openOut(*outPath)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *cachePrune != "" {
+		if *cacheDir == "" {
+			fatal(fmt.Errorf("-cache-prune needs -cache-dir"))
+		}
+		age, size, err := harness.ParsePruneSpec(*cachePrune)
+		if err != nil {
+			fatal(err)
+		}
+		cc, err := harness.NewCellCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := cc.Prune(age, size)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cache-prune %s: %s\n", *cacheDir, st)
+		if *corpusN == 0 {
+			// Prune-only mode: bound a long-lived cache dir and exit.
+			if err := commit(); err != nil {
+				fatal(err)
+			}
+			return
+		}
 	}
 
 	if *corpusN > 0 {
@@ -267,6 +296,9 @@ func startProfiles(cpu, heap string) (func(), error) {
 	}, nil
 }
 
+// fatal reports err and exits: 3 with a structured diagnostic when an
+// experiment cell aborted on a FaultError (e.g. a watchdog-tripped corpus
+// cell), 1 otherwise.
 func fatal(err error) {
 	if stopProfiles != nil {
 		stopProfiles()
@@ -274,6 +306,6 @@ func fatal(err error) {
 	if cleanupOut != nil {
 		cleanupOut()
 	}
-	fmt.Fprintln(os.Stderr, "waveexp:", err)
-	os.Exit(1)
+	cli.WriteDiagnostic(os.Stderr, "waveexp", err)
+	os.Exit(cli.Code(err))
 }

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"wavescalar"
+	"wavescalar/internal/cli"
 )
 
 func main() {
@@ -58,7 +59,9 @@ func main() {
 	fmt.Printf("peak in-flight tokens (exposed parallelism): %d\n", res.MaxParallelism)
 }
 
+// fatal reports err and exits: 3 with a structured diagnostic when a
+// simulation aborted on a FaultError, 1 otherwise.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "waverun:", err)
-	os.Exit(1)
+	cli.WriteDiagnostic(os.Stderr, "waverun", err)
+	os.Exit(cli.Code(err))
 }

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"wavescalar"
+	"wavescalar/internal/cli"
 	"wavescalar/internal/trace"
 )
 
@@ -208,10 +209,14 @@ func startProfiles(cpu, heap string) (func(), error) {
 	}, nil
 }
 
+// fatal reports err and exits: 3 with a structured diagnostic when the
+// simulation aborted on a FaultError (watchdog, deadlock, unrecoverable
+// fault), 1 otherwise — so drivers can tell "the run faulted" from "the
+// invocation was wrong" without parsing stderr.
 func fatal(err error) {
 	if stopProfiles != nil {
 		stopProfiles()
 	}
-	fmt.Fprintln(os.Stderr, "wavesim:", err)
-	os.Exit(1)
+	cli.WriteDiagnostic(os.Stderr, "wavesim", err)
+	os.Exit(cli.Code(err))
 }

@@ -1,0 +1,44 @@
+package cli
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wavescalar/internal/fault"
+)
+
+func TestCodeClassifiesFaultErrors(t *testing.T) {
+	plain := fmt.Errorf("no such file")
+	if got := Code(plain); got != ExitError {
+		t.Errorf("plain error: exit %d, want %d", got, ExitError)
+	}
+	fe := &fault.FaultError{Kind: fault.KindWatchdog, PE: -1, Cycle: 50_000_001,
+		Detail: "simulated time exceeded max-cycles"}
+	if got := Code(fe); got != ExitFault {
+		t.Errorf("bare FaultError: exit %d, want %d", got, ExitFault)
+	}
+	// The harness wraps engine errors with workload context; the exit code
+	// must survive wrapping.
+	wrapped := fmt.Errorf("adpcm: wavecache: %w", fe)
+	if got := Code(wrapped); got != ExitFault {
+		t.Errorf("wrapped FaultError: exit %d, want %d", got, ExitFault)
+	}
+}
+
+func TestWriteDiagnostic(t *testing.T) {
+	fe := &fault.FaultError{Kind: fault.KindWatchdog, PE: 7, Cycle: 123, Detail: "stuck"}
+	var b strings.Builder
+	WriteDiagnostic(&b, "wavesim", fmt.Errorf("x: %w", fe))
+	out := b.String()
+	for _, want := range []string{"kind=watchdog", "pe=7", "cycle=123", `detail="stuck"`, "exit 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	WriteDiagnostic(&b, "wavesim", fmt.Errorf("plain"))
+	if strings.Contains(b.String(), "fault diagnostic") {
+		t.Errorf("plain error got a fault diagnostic:\n%s", b.String())
+	}
+}

@@ -216,6 +216,10 @@ const (
 	KindWatchdog
 	// KindConfig: the fault configuration itself is unusable.
 	KindConfig
+	// KindCancelled: the caller cancelled the run (deadline expiry, client
+	// disconnect, server drain) via wavecache.Config.Cancel. Not a machine
+	// fault — the simulation was healthy when it was asked to stop.
+	KindCancelled
 )
 
 func (k Kind) String() string {
@@ -228,6 +232,8 @@ func (k Kind) String() string {
 		return "watchdog"
 	case KindConfig:
 		return "config"
+	case KindCancelled:
+		return "cancelled"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"wavescalar/internal/fault"
+)
+
+// cancelFastSrc completes in a few thousand simulated cycles;
+// cancelSlowSrc simulates for seconds of wall clock, so a short context
+// reliably cancels it mid-run.
+const (
+	cancelFastSrc = `
+func main() {
+	var s = 0;
+	for var i = 0; i < 300; i = i + 1 {
+		s = (s + i*3) & 0xFFFFF;
+	}
+	return s;
+}`
+	cancelSlowSrc = `
+func main() {
+	var s = 0;
+	for var i = 0; i < 1000000; i = i + 1 {
+		s = (s + i) & 0xFFFFF;
+	}
+	return s;
+}`
+)
+
+func runWithCtx(t *testing.T, c *Compiled, ctx context.Context) (any, error) {
+	t.Helper()
+	m := DefaultMachineOptions()
+	m.Ctx = ctx
+	cfg := m.WaveConfig()
+	pol, err := m.NewPolicy(c.Wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWave(c, c.Wave, pol, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TestRunWaveCancellation: a context deadline reaches the simulator's
+// event loop through MachineOptions.Ctx and aborts the run promptly with
+// a structured cancellation fault.
+func TestRunWaveCancellation(t *testing.T) {
+	c, err := CompileSource("slow", cancelSlowSrc, DefaultCompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err = runWithCtx(t, c, ctx)
+	if err == nil {
+		t.Fatal("slow run completed under a 50ms deadline")
+	}
+	var fe *fault.FaultError
+	if !errors.As(err, &fe) || fe.Kind != fault.KindCancelled {
+		t.Fatalf("expected KindCancelled FaultError, got %v", err)
+	}
+	if el := time.Since(t0); el > 5*time.Second {
+		t.Errorf("cancellation took %v to land", el)
+	}
+}
+
+// TestArenaReuseAfterConcurrentCancellation: arenas aborted mid-run by
+// cancellation go back to the shared pool; the next runs that draw them —
+// concurrently — must be bit-identical to an uncancelled baseline. This is
+// the contract that makes request cancellation safe in a long-lived
+// server reusing warm arenas across tenants.
+func TestArenaReuseAfterConcurrentCancellation(t *testing.T) {
+	slow, err := CompileSource("slow", cancelSlowSrc, DefaultCompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := CompileSource("fast", cancelFastSrc, DefaultCompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineRes, err := runWithCtx(t, fast, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := json.Marshal(baselineRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty the arena pool: concurrent slow runs, every one cancelled
+	// mid-simulation.
+	const cancelled = 8
+	var wg sync.WaitGroup
+	for i := 0; i < cancelled; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			_, err := runWithCtx(t, slow, ctx)
+			var fe *fault.FaultError
+			if err == nil || !errors.As(err, &fe) || fe.Kind != fault.KindCancelled {
+				t.Errorf("expected cancellation fault, got %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every arena in the pool has now aborted mid-run at least once.
+	// Concurrent reuse must still be bit-identical to the baseline.
+	for i := 0; i < 2*cancelled; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := runWithCtx(t, fast, context.Background())
+			if err != nil {
+				t.Errorf("run %d on a reused arena failed: %v", i, err)
+				return
+			}
+			got, err := json.Marshal(res)
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			if string(got) != string(baseline) {
+				t.Errorf("run %d on a cancellation-dirtied arena diverged:\n got: %s\nwant: %s",
+					i, got, baseline)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PruneStats reports what one CellCache.Prune pass did.
+type PruneStats struct {
+	// Scanned is the number of cache entries examined.
+	Scanned int
+	// RemovedAge / RemovedSize count entries deleted for exceeding the age
+	// bound and for bringing the cache under the size bound, respectively.
+	RemovedAge, RemovedSize int
+	// RemovedTemp counts stray temp files (from killed writers) cleaned up.
+	RemovedTemp int
+	// KeptBytes is the total payload size remaining after the pass.
+	KeptBytes int64
+}
+
+// Removed is the total number of cache entries deleted.
+func (p PruneStats) Removed() int { return p.RemovedAge + p.RemovedSize }
+
+func (p PruneStats) String() string {
+	return fmt.Sprintf("scanned %d, removed %d (age %d, size %d, temp %d), kept %s",
+		p.Scanned, p.Removed(), p.RemovedAge, p.RemovedSize, p.RemovedTemp,
+		FormatBytes(p.KeptBytes))
+}
+
+// staleTempAge is how old a temp file must be before Prune treats it as
+// abandoned by a killed writer rather than in flight from a live one.
+const staleTempAge = time.Hour
+
+// Prune bounds the cache directory for long-lived processes: it removes
+// entries older than maxAge (0 = no age bound) and then, oldest first,
+// enough further entries to bring the total size under maxBytes (0 = no
+// size bound). Stray temp files left by killed writers are removed once
+// they are over an hour old.
+//
+// Prune is safe to run concurrently with Put and Get from any process
+// sharing the directory: entries are whole files written atomically, so a
+// pruned entry simply becomes a cache miss to be recomputed — a reader
+// never observes a torn entry, and a concurrent Put of the same key either
+// lands before the Remove (and is pruned) or after (and survives as a
+// fresh entry). Per-entry deletion errors are counted as kept, not fatal;
+// only a failure to scan the directory tree is returned.
+func (cc *CellCache) Prune(maxAge time.Duration, maxBytes int64) (PruneStats, error) {
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var (
+		st      PruneStats
+		entries []entry
+	)
+	now := time.Now()
+	err := filepath.WalkDir(cc.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			// A shard directory pruned or renamed underneath the walk is a
+			// concurrent-delete race, not a failure.
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // deleted underneath us: already pruned
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-") {
+			if now.Sub(info.ModTime()) > staleTempAge {
+				if os.Remove(path) == nil {
+					st.RemovedTemp++
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".json") {
+			return nil
+		}
+		st.Scanned++
+		entries = append(entries, entry{path: path, size: info.Size(), mtime: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return st, fmt.Errorf("cellcache: prune: %w", err)
+	}
+
+	var kept []entry
+	for _, e := range entries {
+		if maxAge > 0 && now.Sub(e.mtime) > maxAge {
+			if os.Remove(e.path) == nil {
+				st.RemovedAge++
+				continue
+			}
+		}
+		kept = append(kept, e)
+		st.KeptBytes += e.size
+	}
+	if maxBytes > 0 && st.KeptBytes > maxBytes {
+		// Oldest first; ties broken by path so the pass is deterministic.
+		sort.Slice(kept, func(i, j int) bool {
+			if !kept[i].mtime.Equal(kept[j].mtime) {
+				return kept[i].mtime.Before(kept[j].mtime)
+			}
+			return kept[i].path < kept[j].path
+		})
+		for _, e := range kept {
+			if st.KeptBytes <= maxBytes {
+				break
+			}
+			if os.Remove(e.path) == nil {
+				st.RemovedSize++
+				st.KeptBytes -= e.size
+			}
+		}
+	}
+	return st, nil
+}
+
+// ParsePruneSpec parses the CLI prune specification: comma-separated
+// key=value pairs with keys "age" (a Go duration, e.g. 24h) and "size" (a
+// byte count with optional KB/MB/GB/KiB/MiB/GiB suffix). At least one
+// bound must be given; a zero bound means "no bound on that axis".
+func ParsePruneSpec(spec string) (maxAge time.Duration, maxBytes int64, err error) {
+	if strings.TrimSpace(spec) == "" {
+		return 0, 0, fmt.Errorf("cellcache: empty prune spec (want age=DUR and/or size=BYTES)")
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("cellcache: bad prune spec part %q (want key=value)", part)
+		}
+		switch k {
+		case "age":
+			maxAge, err = time.ParseDuration(v)
+			if err != nil {
+				return 0, 0, fmt.Errorf("cellcache: bad prune age %q: %w", v, err)
+			}
+			if maxAge < 0 {
+				return 0, 0, fmt.Errorf("cellcache: negative prune age %q", v)
+			}
+		case "size":
+			maxBytes, err = ParseBytes(v)
+			if err != nil {
+				return 0, 0, err
+			}
+		default:
+			return 0, 0, fmt.Errorf("cellcache: unknown prune key %q (want age or size)", k)
+		}
+	}
+	return maxAge, maxBytes, nil
+}
+
+// ParseBytes parses a byte count: a plain integer, or one with a
+// KB/MB/GB (decimal) or KiB/MiB/GiB (binary) suffix, or a bare B.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"B", 1},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t = strings.TrimSpace(strings.TrimSuffix(t, u.suffix))
+			mult = u.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("cellcache: bad byte count %q", s)
+	}
+	return n * mult, nil
+}
+
+// FormatBytes renders a byte count with a decimal unit suffix.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fGB", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2fMB", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.2fKB", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+type pruneProbe struct {
+	ID  int   `json:"id"`
+	Pad []int `json:"pad,omitempty"`
+}
+
+func TestPruneAgeBound(t *testing.T) {
+	cc, err := NewCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = CacheKey("prune-age", fmt.Sprint(i))
+		if err := cc.Put(keys[i], &pruneProbe{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Age half the entries by backdating their mtimes.
+	old := time.Now().Add(-2 * time.Hour)
+	for _, k := range keys[:4] {
+		if err := os.Chtimes(cc.path(k), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cc.Prune(time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemovedAge != 4 || st.Scanned != 8 {
+		t.Fatalf("prune stats %+v, want 4 of 8 removed by age", st)
+	}
+	for i, k := range keys {
+		var v pruneProbe
+		got := cc.Get(k, &v)
+		if want := i >= 4; got != want {
+			t.Fatalf("key %d: present=%v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestPruneSizeBoundEvictsOldestFirst(t *testing.T) {
+	cc, err := NewCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	keys := make([]string, n)
+	var entryBytes int64
+	for i := range keys {
+		keys[i] = CacheKey("prune-size", fmt.Sprint(i))
+		if err := cc.Put(keys[i], &pruneProbe{ID: i, Pad: make([]int, 64)}); err != nil {
+			t.Fatal(err)
+		}
+		// Deterministic age order: entry i is (n-i) hours old.
+		mt := time.Now().Add(-time.Duration(n-i) * time.Hour)
+		if err := os.Chtimes(cc.path(keys[i]), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			info, err := os.Stat(cc.path(keys[i]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			entryBytes = info.Size()
+		}
+	}
+	// Budget for three entries: the three oldest must go.
+	st, err := cc.Prune(0, 3*entryBytes+entryBytes/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemovedSize != 3 {
+		t.Fatalf("prune stats %+v, want 3 removed by size", st)
+	}
+	for i, k := range keys {
+		var v pruneProbe
+		got := cc.Get(k, &v)
+		if want := i >= 3; got != want {
+			t.Fatalf("key %d: present=%v, want %v (oldest-first eviction)", i, got, want)
+		}
+	}
+}
+
+func TestPruneRemovesStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	cc, err := NewCellCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(sub, ".deadbeef.tmp-123")
+	fresh := filepath.Join(sub, ".cafebabe.tmp-456")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cc.Prune(time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemovedTemp != 1 {
+		t.Fatalf("prune stats %+v, want exactly the stale temp file removed", st)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived prune")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh temp file (live writer) was removed")
+	}
+}
+
+// TestPruneConcurrentWithPutGet is the prune atomicity contract: a prune
+// pass racing Put and Get traffic (a long-lived waved process) must never
+// surface a torn entry — every Get either misses or returns a fully valid
+// payload, and the cache's corruption counter stays at zero.
+func TestPruneConcurrentWithPutGet(t *testing.T) {
+	cc, err := NewCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 4
+		keysPer = 32
+		rounds  = 25
+	)
+	var writersWG, prunerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < keysPer; i++ {
+					key := CacheKey("prune-race", fmt.Sprint(w), fmt.Sprint(i))
+					want := w*1000 + i
+					if err := cc.Put(key, &pruneProbe{ID: want}); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+					var v pruneProbe
+					if cc.Get(key, &v) && v.ID != want {
+						t.Errorf("key w=%d i=%d: got payload %d, want %d (torn entry)", w, i, v.ID, want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	prunerWG.Add(1)
+	go func() {
+		defer prunerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Alternate aggressive size-bound and age-bound passes.
+			if _, err := cc.Prune(0, 1); err != nil {
+				t.Errorf("prune: %v", err)
+				return
+			}
+			if _, err := cc.Prune(time.Nanosecond, 0); err != nil {
+				t.Errorf("prune: %v", err)
+				return
+			}
+		}
+	}()
+	writersWG.Wait()
+	close(stop)
+	prunerWG.Wait()
+	if got := cc.Corrupt(); got != 0 {
+		t.Fatalf("cache discarded %d corrupt entries during prune race; writes must stay atomic", got)
+	}
+}
+
+func TestParsePruneSpec(t *testing.T) {
+	age, size, err := ParsePruneSpec("age=24h,size=256MB")
+	if err != nil || age != 24*time.Hour || size != 256e6 {
+		t.Fatalf("got age=%v size=%d err=%v", age, size, err)
+	}
+	if _, _, err := ParsePruneSpec(""); err == nil {
+		t.Fatal("empty spec must be rejected")
+	}
+	if _, _, err := ParsePruneSpec("size=cheese"); err == nil {
+		t.Fatal("bad size must be rejected")
+	}
+	if _, _, err := ParsePruneSpec("ttl=1h"); err == nil {
+		t.Fatal("unknown key must be rejected")
+	}
+	for s, want := range map[string]int64{
+		"512":  512,
+		"1KB":  1000,
+		"2MiB": 2 << 20,
+		"3GB":  3e9,
+	} {
+		got, err := ParseBytes(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseBytes(%q) = %d, %v; want %d", s, got, err, want)
+		}
+	}
+	if _, err := ParseBytes("-1MB"); err == nil {
+		t.Fatal("negative byte count must be rejected")
+	}
+}

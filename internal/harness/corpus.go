@@ -146,7 +146,7 @@ func RunCorpus(o CorpusOptions) (*CorpusRun, error) {
 		missing
 	)
 	status := make([]int, o.N)
-	err := parallel.ForEach(o.Machine.Workers, o.N, func(i int) error {
+	err := parallel.ForEachCtx(o.Machine.ctx(), o.Machine.Workers, o.N, func(i int) error {
 		key := ""
 		if cache != nil {
 			key = corpusCellKey(specs[i], o)
@@ -170,6 +170,13 @@ func RunCorpus(o CorpusOptions) (*CorpusRun, error) {
 		run.Cells[i] = cell
 		status[i] = computed
 		if cache != nil {
+			// Never cache a cell cut short by cancellation: its engine
+			// errors reflect when the caller gave up, not what the program
+			// does, and a resumed sweep must recompute it. (Watchdog and
+			// fault aborts ARE cached — they are deterministic outcomes.)
+			if o.Machine.ctx().Err() != nil {
+				return nil
+			}
 			return cache.Put(key, cell)
 		}
 		return nil

@@ -15,6 +15,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -58,6 +59,10 @@ type CompileOptions struct {
 	// Workers bounds the goroutines Suite compiles workloads across
 	// (0 = one per CPU, 1 = sequential).
 	Workers int
+	// Ctx, when non-nil, cancels a Suite compilation between workloads
+	// (nil = never cancelled). Ctx does not affect compiled output, only
+	// whether the remaining work runs.
+	Ctx context.Context
 }
 
 // DefaultCompileOptions is the harness pipeline: unroll by 4, as the
@@ -186,7 +191,7 @@ func Suite(names []string, opts CompileOptions) ([]*Compiled, error) {
 		}
 		picked[i] = w
 	}
-	return parallel.Map(opts.Workers, len(picked), func(i int) (*Compiled, error) {
+	return parallel.MapCtx(opts.ctx(), opts.Workers, len(picked), func(i int) (*Compiled, error) {
 		return CompileWorkload(picked[i], opts)
 	})
 }
@@ -220,6 +225,14 @@ type MachineOptions struct {
 	// default — leaves the simulators' tracing disabled and all tables
 	// byte-identical to a metrics-free build.
 	Metrics *trace.Aggregate
+	// Ctx, when non-nil, cancels a sweep cooperatively: the worker pool
+	// stops claiming cells once Ctx is done, and every WaveCache cell
+	// inherits Ctx.Done() as its wavecache.Config.Cancel channel, so a
+	// long-running cell aborts mid-simulation with a structured
+	// cancellation FaultError instead of running to completion. nil — the
+	// default — is never-cancelled and results-identical to the pre-Ctx
+	// harness.
+	Ctx context.Context
 }
 
 // DefaultMachineOptions is the tuned kernel-scale configuration.
@@ -235,7 +248,26 @@ func (m MachineOptions) WaveConfig() wavecache.Config {
 	cfg.InputQueue = m.InputQueue
 	cfg.Metrics = m.Metrics
 	cfg.MaxCycles = m.MaxCycles
+	if m.Ctx != nil {
+		cfg.Cancel = m.Ctx.Done()
+	}
 	return cfg
+}
+
+// ctx returns the options' context, defaulting to Background.
+func (m MachineOptions) ctx() context.Context {
+	if m.Ctx != nil {
+		return m.Ctx
+	}
+	return context.Background()
+}
+
+// ctx returns the options' context, defaulting to Background.
+func (o CompileOptions) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // NewPolicy instantiates the configured placement policy for a program.
@@ -324,6 +356,9 @@ type Experiment struct {
 // trace-counter summary of its cells (also deterministic).
 func RunAll(set []*Compiled, m MachineOptions, w io.Writer) error {
 	for _, e := range Experiments {
+		if err := m.ctx().Err(); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
 		fmt.Fprintf(w, "\n## %s — %s\n\n", e.ID, e.Title)
 		fmt.Fprintf(w, "Paper claim: %s\n\n", e.Claim)
 		t0 := time.Now()

@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -48,6 +49,17 @@ func (p *panicError) Error() string {
 // A panicking job is recovered on its worker and re-panicked from ForEach
 // on the calling goroutine once all workers have drained.
 func ForEach(workers, n int, job func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, job)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// workers stop claiming new jobs (already-running jobs finish — jobs that
+// want mid-run cancellation must watch ctx themselves) and ForEachCtx
+// returns ctx's error. A job error recorded before the cancellation was
+// observed takes precedence, with the usual lowest-index rule; cancellation
+// shares the non-determinism caveat of job failures — which later jobs were
+// skipped can vary between runs.
+func ForEachCtx(ctx context.Context, workers, n int, job func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -59,6 +71,9 @@ func ForEach(workers, n int, job func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := runJob(job, i); err != nil {
 				if pe, ok := err.(*panicError); ok {
 					panic(pe.value)
@@ -74,12 +89,20 @@ func ForEach(workers, n int, job func(i int) error) error {
 		failed atomic.Bool
 		wg     sync.WaitGroup
 	)
+	done := ctx.Done()
 	errs := make([]error, n)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
@@ -100,7 +123,7 @@ func ForEach(workers, n int, job func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // runJob invokes one job, converting a panic into a panicError.
@@ -116,8 +139,13 @@ func runJob(job func(i int) error, i int) (err error) {
 // Map runs f over 0..n-1 on the pool and collects the results into a slice
 // indexed by job number, independent of completion order.
 func Map[T any](workers, n int, f func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, f)
+}
+
+// MapCtx is Map with cooperative cancellation (see ForEachCtx).
+func MapCtx[T any](ctx context.Context, workers, n int, f func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
+	err := ForEachCtx(ctx, workers, n, func(i int) error {
 		v, err := f(i)
 		if err != nil {
 			return err

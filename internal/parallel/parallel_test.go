@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -142,5 +143,77 @@ func TestMapError(t *testing.T) {
 func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Fatalf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}
+
+func TestForEachCtxCancellationStopsClaiming(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 10_000
+			ctx, cancel := context.WithCancel(context.Background())
+			var ran atomic.Int64
+			release := make(chan struct{})
+			err := ForEachCtx(ctx, workers, n, func(i int) error {
+				if ran.Add(1) == int64(workers) {
+					// Every worker is mid-job: cancel, then let them finish.
+					cancel()
+					close(release)
+				}
+				<-release
+				return nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			// Already-running jobs finish; nothing new is claimed after the
+			// cancellation is observed. Allow one extra claim per worker for
+			// the race between cancel() and the next claim check.
+			if got := ran.Load(); got > int64(2*workers) {
+				t.Fatalf("%d jobs ran after cancellation with %d workers", got, workers)
+			}
+		})
+	}
+}
+
+func TestForEachCtxJobErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := ForEachCtx(ctx, 1, 4, func(i int) error {
+		if i == 1 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want job error to take precedence", err)
+	}
+}
+
+func TestForEachCtxDoneBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 4, 100, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got > 4 {
+		t.Fatalf("%d jobs ran with a pre-cancelled context", got)
+	}
+}
+
+func TestMapCtxCompletesWithoutCancellation(t *testing.T) {
+	out, err := MapCtx(context.Background(), 4, 32, func(i int) (int, error) { return i * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
 	}
 }

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"wavescalar/internal/harness"
+)
+
+// compileCache is the warm compiled-program cache: an LRU keyed by the
+// workload hash (source + unroll factor) with singleflight semantics — N
+// concurrent requests for the same uncompiled program trigger one compile,
+// and the rest wait on it. Entries may be evicted while still being
+// waited on; waiters hold the entry pointer, so eviction only forgets the
+// key, never invalidates a result in use.
+type compileCache struct {
+	max  int
+	hits atomic.Uint64
+
+	mu      sync.Mutex
+	entries map[string]*compileEntry
+	lru     *list.List
+}
+
+type compileEntry struct {
+	key  string
+	elem *list.Element
+	done chan struct{} // closed when c/err are set
+	c    *harness.Compiled
+	err  error
+}
+
+func newCompileCache(max int) *compileCache {
+	if max < 1 {
+		max = 1
+	}
+	return &compileCache{
+		max:     max,
+		entries: make(map[string]*compileEntry),
+		lru:     list.New(),
+	}
+}
+
+// get returns the compiled program for key, building it at most once per
+// cache residency. hit reports whether a warm entry (including one still
+// compiling under another request) satisfied the call.
+//
+// The wait — not the build — respects ctx: compilation executes the
+// program on two reference engines and cannot be interrupted mid-way, so
+// a cancelled request abandons the wait immediately while the build runs
+// on in the background and lands in the cache. A retry after a deadline
+// expiry therefore finds the program warm instead of paying the compile
+// again — cancelled compile work is never wasted work.
+func (cc *compileCache) get(ctx context.Context, key string, build func() (*harness.Compiled, error)) (c *harness.Compiled, hit bool, err error) {
+	cc.mu.Lock()
+	e, ok := cc.entries[key]
+	if ok {
+		cc.lru.MoveToFront(e.elem)
+	} else {
+		e = &compileEntry{key: key, done: make(chan struct{})}
+		e.elem = cc.lru.PushFront(e)
+		cc.entries[key] = e
+		for cc.lru.Len() > cc.max {
+			oldest := cc.lru.Back()
+			old := oldest.Value.(*compileEntry)
+			cc.lru.Remove(oldest)
+			delete(cc.entries, old.key)
+		}
+		go func() {
+			e.c, e.err = build()
+			if e.err != nil {
+				// Never cache failures: a bad source stays bad, but transient
+				// failures must not poison the key — a retry recompiles.
+				cc.mu.Lock()
+				if cur, live := cc.entries[key]; live && cur == e {
+					cc.lru.Remove(e.elem)
+					delete(cc.entries, key)
+				}
+				cc.mu.Unlock()
+			}
+			close(e.done)
+		}()
+	}
+	cc.mu.Unlock()
+
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	if e.err != nil {
+		return nil, ok, e.err
+	}
+	if ok {
+		cc.hits.Add(1)
+	}
+	return e.c, ok, nil
+}
+
+// Hits reports how many requests were satisfied by a warm entry.
+func (cc *compileCache) Hits() uint64 { return cc.hits.Load() }
+
+// Len reports the current entry count.
+func (cc *compileCache) Len() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.lru.Len()
+}

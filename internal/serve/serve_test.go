@@ -1,0 +1,538 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wavescalar/internal/fault"
+	"wavescalar/internal/harness"
+	"wavescalar/internal/placement"
+	"wavescalar/internal/wavecache"
+)
+
+// fastSrc finishes in a few thousand simulated cycles. slowSrc compiles
+// in ~1s (compilation executes the program on the AST evaluator and the
+// linear emulator, so it cannot be arbitrarily long) but simulates for
+// roughly ten seconds of wall clock — in these tests it only ever ends by
+// cancellation.
+const (
+	fastSrc = `
+func main() {
+	var s = 0;
+	for var i = 0; i < 200; i = i + 1 {
+		s = (s + i*i) & 0xFFFFF;
+	}
+	return s;
+}`
+	slowSrc = `
+func main() {
+	var s = 0;
+	for var i = 0; i < 3000000; i = i + 1 {
+		s = (s + i) & 0xFFFFF;
+	}
+	return s;
+}`
+)
+
+// testConfig is a small, deterministic serving configuration: no rate
+// limiting (tests that want 429s set TenantRate themselves), generous
+// deadlines, two slots.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TenantRate = 0
+	cfg.MaxConcurrent = 2
+	cfg.MaxQueue = 8
+	cfg.DefaultDeadline = 30 * time.Second
+	cfg.MaxDeadline = 60 * time.Second
+	return cfg
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, &Client{BaseURL: ts.URL, Tenant: "test", HTTPClient: ts.Client()}
+}
+
+// directResult computes the expected SimResult for a request with the
+// harness directly — no serve code in the loop — mirroring exactly what a
+// standalone harness user would do. Byte-identity between this and the
+// served result is the service's core correctness contract.
+func directResult(t *testing.T, req SimulateRequest, maxCycles int64) SimResult {
+	t.Helper()
+	name, src := req.Workload, req.Source
+	if name == "" {
+		name = "inline"
+	}
+	if src == "" {
+		w := harnessWorkload(t, name)
+		src = w
+	}
+	unroll := req.Unroll
+	if unroll == 0 {
+		unroll = harness.DefaultCompileOptions().Unroll
+	}
+	c, err := harness.CompileSource(name, src, harness.CompileOptions{Unroll: unroll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := c.Wave
+	switch req.Binary {
+	case "select":
+		prog = c.WaveSel
+	case "rolled":
+		prog = c.WaveNoUn
+	}
+	m := harness.DefaultMachineOptions()
+	if req.Grid != "" {
+		if _, err := fmt.Sscanf(req.Grid, "%dx%d", &m.GridW, &m.GridH); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if req.Policy != "" {
+		m.Policy = req.Policy
+	}
+	m.MaxCycles = maxCycles
+	cfg := m.WaveConfig()
+	switch req.MemMode {
+	case "", "wave-ordered":
+	case "serialized":
+		cfg.MemMode = wavecache.MemSerial
+	case "ideal":
+		cfg.MemMode = wavecache.MemIdeal
+	}
+	if req.Faults != "" {
+		fc, err := fault.ParseSpec(req.Faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc.Seed = req.FaultSeed
+		cfg.Faults = fc
+		cfg.Machine.Defective = fault.DefectMap(fc, cfg.Machine.NumPEs())
+	}
+	pol, err := placement.New(m.Policy, cfg.Machine, prog, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := harness.RunWave(c, prog, pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SimResult{
+		Value:        res.Value,
+		UsefulInstrs: c.UsefulInstrs,
+		Cycles:       res.Cycles,
+		AIPC:         harness.AIPC(c.UsefulInstrs, res.Cycles),
+		Fired:        res.Fired,
+		Tokens:       res.Tokens,
+		Swaps:        res.Swaps,
+		Overflows:    res.Overflows,
+		PEsUsed:      res.PEsUsed,
+		MemoryOps:    res.Order.Loads + res.Order.Stores,
+		NetMessages:  res.Net.Messages,
+	}
+}
+
+func harnessWorkload(t *testing.T, name string) string {
+	t.Helper()
+	c, err := harness.Suite([]string{name}, harness.DefaultCompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c[0].Src
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestSimulateMatchesDirectHarness(t *testing.T) {
+	srvCfg := testConfig()
+	s, client := newTestServer(t, srvCfg)
+	defer s.StopJanitor()
+
+	reqs := []SimulateRequest{
+		{Source: fastSrc},
+		{Source: fastSrc, Binary: "select"},
+		{Source: fastSrc, Binary: "rolled", Unroll: 1},
+		{Source: fastSrc, Grid: "2x2", MemMode: "serialized"},
+		{Source: fastSrc, MemMode: "ideal", Metrics: true},
+		{Workload: "gen:pipeline:7", Grid: "2x2"},
+		{Source: fastSrc, Faults: "defect=0.1,drop=0.005", FaultSeed: 42},
+	}
+	for i, req := range reqs {
+		resp, apiErr, err := client.Simulate(context.Background(), req)
+		if err != nil || apiErr != nil {
+			t.Fatalf("req %d: err=%v apiErr=%+v", i, err, apiErr)
+		}
+		want := directResult(t, req, srvCfg.MaxCycles)
+		if got, wantJSON := mustJSON(t, resp.Result), mustJSON(t, want); got != wantJSON {
+			t.Errorf("req %d: served result diverged from direct harness run\n got: %s\nwant: %s", i, got, wantJSON)
+		}
+		if req.Metrics && resp.MetricsTable == "" {
+			t.Errorf("req %d: metrics requested but no metrics table", i)
+		}
+	}
+}
+
+func TestSimulateIdempotentReplay(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheDir = t.TempDir()
+	s, client := newTestServer(t, cfg)
+	defer s.StopJanitor()
+
+	req := SimulateRequest{Source: fastSrc, Grid: "2x2"}
+	first, apiErr, err := client.Simulate(context.Background(), req)
+	if err != nil || apiErr != nil {
+		t.Fatalf("first: err=%v apiErr=%+v", err, apiErr)
+	}
+	if first.Cached {
+		t.Fatal("first request claims a cache hit on an empty cache")
+	}
+	second, apiErr, err := client.Simulate(context.Background(), req)
+	if err != nil || apiErr != nil {
+		t.Fatalf("second: err=%v apiErr=%+v", err, apiErr)
+	}
+	if !second.Cached {
+		t.Fatal("retry of an identical request did not replay from the idempotency cache")
+	}
+	if mustJSON(t, first.Result) != mustJSON(t, second.Result) {
+		t.Errorf("cached replay not byte-identical:\n first: %s\nsecond: %s",
+			mustJSON(t, first.Result), mustJSON(t, second.Result))
+	}
+	// A different tenant shares the result: idempotency is content-keyed,
+	// not tenant-keyed (results are pure functions of the request).
+	other := *client
+	other.Tenant = "other"
+	third, apiErr, err := other.Simulate(context.Background(), req)
+	if err != nil || apiErr != nil {
+		t.Fatalf("third: err=%v apiErr=%+v", err, apiErr)
+	}
+	if !third.Cached || mustJSON(t, third.Result) != mustJSON(t, first.Result) {
+		t.Error("cross-tenant replay missed or diverged")
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	cfg := testConfig()
+	cfg.TenantRate = 1
+	cfg.TenantBurst = 2
+	now := time.Unix(1_000_000, 0)
+	cfg.now = func() time.Time { return now } // frozen clock: no refills
+	s, client := newTestServer(t, cfg)
+	defer s.StopJanitor()
+
+	req := SimulateRequest{Source: fastSrc}
+	for i := 0; i < 2; i++ {
+		if _, apiErr, err := client.Simulate(context.Background(), req); err != nil || apiErr != nil {
+			t.Fatalf("burst request %d rejected: err=%v apiErr=%+v", i, err, apiErr)
+		}
+	}
+	_, apiErr, err := client.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apiErr == nil || apiErr.Code != CodeRateLimited || apiErr.Status != 429 {
+		t.Fatalf("expected 429 rate_limited, got %+v", apiErr)
+	}
+	if apiErr.RetryAfterMS <= 0 {
+		t.Errorf("429 without a retry hint: %+v", apiErr)
+	}
+	// A different tenant has its own bucket and is unaffected.
+	other := *client
+	other.Tenant = "other"
+	if _, apiErr, err := other.Simulate(context.Background(), req); err != nil || apiErr != nil {
+		t.Fatalf("other tenant hit by this tenant's bucket: err=%v apiErr=%+v", err, apiErr)
+	}
+}
+
+// holdAllSlots fills every concurrency slot with slow simulations and
+// returns once they are running (admitted, occupying slots), plus a
+// cancel to release them.
+func holdAllSlots(t *testing.T, s *Server, client *Client) (release func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < s.cfg.MaxConcurrent; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Cancellation by the client context ends these; any outcome is
+			// fine — they exist to occupy slots.
+			client.Simulate(ctx, SimulateRequest{Source: slowSrc, DeadlineMS: 30_000})
+		}()
+	}
+	// Wait until every slot is taken.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.slots) < s.cfg.MaxConcurrent {
+		if time.Now().After(deadline) {
+			t.Fatal("slow requests did not occupy all slots in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return func() { cancel(); wg.Wait() }
+}
+
+func TestOverCapacitySheds(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxConcurrent = 1
+	cfg.MaxQueue = 0
+	s, client := newTestServer(t, cfg)
+	defer s.StopJanitor()
+
+	release := holdAllSlots(t, s, client)
+	defer release()
+
+	_, apiErr, err := client.Simulate(context.Background(), SimulateRequest{Source: fastSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apiErr == nil || apiErr.Code != CodeOverCapacity || apiErr.Status != 503 {
+		t.Fatalf("expected 503 over_capacity with a full queue, got %+v", apiErr)
+	}
+}
+
+func TestDeadlineCancelsMidRun(t *testing.T) {
+	s, client := newTestServer(t, testConfig())
+	defer s.StopJanitor()
+
+	t0 := time.Now()
+	_, apiErr, err := client.Simulate(context.Background(),
+		SimulateRequest{Source: slowSrc, DeadlineMS: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apiErr == nil || apiErr.Code != CodeDeadline || apiErr.Status != 504 {
+		t.Fatalf("expected 504 deadline, got %+v", apiErr)
+	}
+	// The cancellation must land promptly — the whole point of threading
+	// the context into the event loop. The slow program runs for tens of
+	// seconds uncancelled.
+	if el := time.Since(t0); el > 5*time.Second {
+		t.Fatalf("deadline abort took %v; cancellation did not reach the simulator", el)
+	}
+	// The arena that aborted mid-run is back in the pool; the next request
+	// on it must be bit-identical to a direct harness run.
+	req := SimulateRequest{Source: fastSrc}
+	resp, apiErr, err := client.Simulate(context.Background(), req)
+	if err != nil || apiErr != nil {
+		t.Fatalf("post-cancellation request failed: err=%v apiErr=%+v", err, apiErr)
+	}
+	want := directResult(t, req, s.cfg.MaxCycles)
+	if mustJSON(t, resp.Result) != mustJSON(t, want) {
+		t.Errorf("result after cancelled-arena reuse diverged:\n got: %s\nwant: %s",
+			mustJSON(t, resp.Result), mustJSON(t, want))
+	}
+}
+
+func TestDrainRejectsAndCancels(t *testing.T) {
+	cfg := testConfig()
+	cfg.DrainGrace = 5 * time.Second
+	s, client := newTestServer(t, cfg)
+	defer s.StopJanitor()
+
+	// One slow request in flight; it can only end by cancellation.
+	type outcome struct {
+		apiErr *ErrorResponse
+		err    error
+	}
+	slowDone := make(chan outcome, 1)
+	go func() {
+		_, apiErr, err := client.Simulate(context.Background(),
+			SimulateRequest{Source: slowSrc, DeadlineMS: 30_000})
+		slowDone <- outcome{apiErr, err}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.slots) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request did not start in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Drain(200 * time.Millisecond) }()
+
+	// New work is rejected as draining once the flag is set.
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	_, apiErr, err := client.Simulate(context.Background(), SimulateRequest{Source: fastSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apiErr == nil || apiErr.Code != CodeDraining || apiErr.Status != 503 {
+		t.Fatalf("expected 503 draining during drain, got %+v", apiErr)
+	}
+
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain did not complete within budget+grace: %v", err)
+	}
+	o := <-slowDone
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	if o.apiErr == nil || o.apiErr.Code != CodeDraining {
+		t.Fatalf("in-flight request should end with code draining, got %+v", o.apiErr)
+	}
+}
+
+func TestCompileEndpoint(t *testing.T) {
+	s, client := newTestServer(t, testConfig())
+	defer s.StopJanitor()
+
+	resp, apiErr, err := client.Compile(context.Background(), CompileRequest{Workload: "fft"})
+	if err != nil || apiErr != nil {
+		t.Fatalf("err=%v apiErr=%+v", err, apiErr)
+	}
+	c, cerr := harness.Suite([]string{"fft"}, harness.DefaultCompileOptions())
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.Checksum != c[0].Checksum || resp.UsefulInstrs != c[0].UsefulInstrs {
+		t.Errorf("compile response %+v disagrees with direct compile (checksum %d, useful %d)",
+			resp, c[0].Checksum, c[0].UsefulInstrs)
+	}
+	if resp.SteerInstrs <= 0 || resp.SelectInstrs <= 0 || resp.RolledInstrs <= 0 {
+		t.Errorf("instruction counts missing: %+v", resp)
+	}
+	// Second compile hits the warm LRU.
+	resp2, apiErr, err := client.Compile(context.Background(), CompileRequest{Workload: "fft"})
+	if err != nil || apiErr != nil {
+		t.Fatalf("err=%v apiErr=%+v", err, apiErr)
+	}
+	if !resp2.Cached {
+		t.Error("second compile of the same workload missed the warm cache")
+	}
+
+	_, apiErr, err = client.Compile(context.Background(), CompileRequest{Workload: "no-such-workload"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apiErr == nil || apiErr.Code != CodeInvalid || apiErr.Status != 400 {
+		t.Fatalf("expected 400 invalid for unknown workload, got %+v", apiErr)
+	}
+}
+
+func TestSweepEndpointMatchesDirectCorpus(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheDir = t.TempDir()
+	s, client := newTestServer(t, cfg)
+	defer s.StopJanitor()
+
+	resp, apiErr, err := client.Sweep(context.Background(), SweepRequest{N: 4, Seed: 9})
+	if err != nil || apiErr != nil {
+		t.Fatalf("err=%v apiErr=%+v", err, apiErr)
+	}
+	direct, derr := harness.RunCorpus(harness.CorpusOptions{
+		N: 4, Seed: 9,
+		Compile: harness.DefaultCompileOptions(),
+		Machine: harness.DefaultCorpusMachine(),
+	})
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if resp.Table != direct.Table.Render() {
+		t.Errorf("served sweep table diverged from direct RunCorpus:\n got:\n%s\nwant:\n%s",
+			resp.Table, direct.Table.Render())
+	}
+	if resp.Mismatched != 0 {
+		t.Errorf("sweep reported %d mismatched cells", resp.Mismatched)
+	}
+	// Re-running the same sweep replays every cell from the corpus cache.
+	resp2, apiErr, err := client.Sweep(context.Background(), SweepRequest{N: 4, Seed: 9})
+	if err != nil || apiErr != nil {
+		t.Fatalf("err=%v apiErr=%+v", err, apiErr)
+	}
+	if resp2.Computed != 0 || resp2.Cached != 4 {
+		t.Errorf("resumed sweep recomputed cells: computed=%d cached=%d", resp2.Computed, resp2.Cached)
+	}
+	if resp2.Table != resp.Table {
+		t.Error("resumed sweep table not byte-identical")
+	}
+
+	if _, apiErr, _ = client.Sweep(context.Background(), SweepRequest{N: cfg.SweepMax + 1}); apiErr == nil || apiErr.Code != CodeInvalid {
+		t.Fatalf("oversized sweep not rejected: %+v", apiErr)
+	}
+}
+
+func TestInvalidRequests(t *testing.T) {
+	s, client := newTestServer(t, testConfig())
+	defer s.StopJanitor()
+
+	cases := []SimulateRequest{
+		{},                                     // neither workload nor source
+		{Workload: "fft", Source: fastSrc},     // both
+		{Source: fastSrc, Binary: "phi"},       // unknown binary
+		{Source: fastSrc, Grid: "0x9"},         // grid out of range
+		{Source: fastSrc, MemMode: "psychic"},  // unknown memory mode
+		{Source: fastSrc, Faults: "defect=x"},  // malformed fault spec
+		{Source: fastSrc, Policy: "nonsense"},  // unknown placement policy
+		{Source: "func main() { return ;; }"},  // parse error
+		{Source: fastSrc, Unroll: 99},          // unroll out of range
+	}
+	for i, req := range cases {
+		_, apiErr, err := client.Simulate(context.Background(), req)
+		if err != nil {
+			t.Fatalf("case %d: transport error %v", i, err)
+		}
+		if apiErr == nil || apiErr.Code != CodeInvalid || apiErr.Status != 400 {
+			t.Errorf("case %d: expected 400 invalid, got %+v", i, apiErr)
+		}
+	}
+	snaps := s.Snapshot()
+	if len(snaps) != 1 || snaps[0].Invalid != uint64(len(cases)) {
+		t.Errorf("invalid counter: got %+v, want %d invalid for one tenant", snaps, len(cases))
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	s, client := newTestServer(t, testConfig())
+	defer s.StopJanitor()
+
+	if _, apiErr, err := client.Simulate(context.Background(), SimulateRequest{Source: fastSrc}); err != nil || apiErr != nil {
+		t.Fatalf("err=%v apiErr=%+v", err, apiErr)
+	}
+	body, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, "waved per-tenant service metrics") || !strings.Contains(body, "test") {
+		t.Errorf("stats page missing expected content:\n%s", body)
+	}
+
+	resp, err := client.httpClient().Get(client.BaseURL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz %d while serving", resp.StatusCode)
+	}
+	if err := s.Drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.httpClient().Get(client.BaseURL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("healthz %d while draining, want 503", resp.StatusCode)
+	}
+}

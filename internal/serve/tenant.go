@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is how many completed-request latencies each tenant retains
+// for quantile reporting: a sliding window, so p50/p99 track current
+// behavior rather than the whole process lifetime, with bounded memory per
+// tenant.
+const latWindow = 2048
+
+// tenant is one tenant's admission and observability state. Counters are
+// atomics (hot path); the token bucket and the latency window take a
+// per-tenant mutex, so tenants never contend with each other.
+type tenant struct {
+	name string
+
+	mu     sync.Mutex
+	tokens float64   // token bucket: current tokens
+	filled time.Time // last refill instant (zero = bucket starts full)
+	lat    []float64 // latency ring, milliseconds
+	latPos int
+	latN   int
+
+	lastSeen atomic.Int64 // unix nanos of the last request, for idle pruning
+
+	// Outcome counters: every admitted-or-rejected request increments
+	// exactly one of these.
+	ok            atomic.Uint64 // 200 with a computed result
+	cacheHits     atomic.Uint64 // 200 replayed from the idempotency cache
+	rateLimited   atomic.Uint64 // 429: token bucket empty
+	shed          atomic.Uint64 // 503: bounded queue full
+	drainRejected atomic.Uint64 // 503: server draining
+	deadline      atomic.Uint64 // 504: deadline expired (run cancelled)
+	cancelled     atomic.Uint64 // client disconnected mid-run
+	faulted       atomic.Uint64 // 422: structured simulation fault
+	invalid       atomic.Uint64 // 400: malformed request/program
+	internal      atomic.Uint64 // 500: server bug
+}
+
+// take attempts to draw one token at rate tokens/sec with the given burst
+// capacity. rate <= 0 disables rate limiting (always admits). On refusal
+// it returns how long until a token will be available.
+func (tn *tenant) take(now time.Time, rate float64, burst int) (bool, time.Duration) {
+	if rate <= 0 {
+		return true, 0
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	if tn.filled.IsZero() {
+		tn.tokens = float64(burst)
+	} else if dt := now.Sub(tn.filled); dt > 0 {
+		tn.tokens += dt.Seconds() * rate
+		if tn.tokens > float64(burst) {
+			tn.tokens = float64(burst)
+		}
+	}
+	tn.filled = now
+	if tn.tokens >= 1 {
+		tn.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - tn.tokens) / rate * float64(time.Second))
+	return false, wait
+}
+
+// recordLatency adds one completed request's latency to the window.
+func (tn *tenant) recordLatency(ms float64) {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	if tn.lat == nil {
+		tn.lat = make([]float64, latWindow)
+	}
+	tn.lat[tn.latPos] = ms
+	tn.latPos = (tn.latPos + 1) % latWindow
+	if tn.latN < latWindow {
+		tn.latN++
+	}
+}
+
+// quantiles returns the window's p50 and p99 in milliseconds (NaN-free:
+// zeros when the window is empty).
+func (tn *tenant) quantiles() (p50, p99 float64) {
+	tn.mu.Lock()
+	samples := append([]float64(nil), tn.lat[:tn.latN]...)
+	tn.mu.Unlock()
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(samples)
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	return pick(0.50), pick(0.99)
+}
+
+// TenantSnapshot is one tenant's service metrics at a point in time.
+type TenantSnapshot struct {
+	Tenant        string  `json:"tenant"`
+	OK            uint64  `json:"ok"`
+	CacheHits     uint64  `json:"cache_hits"`
+	RateLimited   uint64  `json:"rate_limited"`
+	Shed          uint64  `json:"shed"`
+	DrainRejected uint64  `json:"drain_rejected"`
+	Deadline      uint64  `json:"deadline"`
+	Cancelled     uint64  `json:"cancelled"`
+	Faulted       uint64  `json:"faulted"`
+	Invalid       uint64  `json:"invalid"`
+	Internal      uint64  `json:"internal"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+}
+
+func (tn *tenant) snapshot() TenantSnapshot {
+	p50, p99 := tn.quantiles()
+	return TenantSnapshot{
+		Tenant:        tn.name,
+		OK:            tn.ok.Load(),
+		CacheHits:     tn.cacheHits.Load(),
+		RateLimited:   tn.rateLimited.Load(),
+		Shed:          tn.shed.Load(),
+		DrainRejected: tn.drainRejected.Load(),
+		Deadline:      tn.deadline.Load(),
+		Cancelled:     tn.cancelled.Load(),
+		Faulted:       tn.faulted.Load(),
+		Invalid:       tn.invalid.Load(),
+		Internal:      tn.internal.Load(),
+		P50MS:         p50,
+		P99MS:         p99,
+	}
+}

@@ -659,6 +659,18 @@ func (a *Aggregate) Add(t *Tracer) {
 	a.mu.Unlock()
 }
 
+// Merge folds an already-snapshotted Metrics into the aggregate: how a
+// per-request metrics sink (a served simulation that wants its own
+// counters) also contributes to a process-wide one.
+func (a *Aggregate) Merge(m *Metrics) {
+	if a == nil || m == nil {
+		return
+	}
+	a.mu.Lock()
+	a.m.Merge(m)
+	a.mu.Unlock()
+}
+
 // Snapshot returns a deep copy of the merged metrics.
 func (a *Aggregate) Snapshot() Metrics {
 	a.mu.Lock()

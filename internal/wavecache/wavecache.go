@@ -115,6 +115,16 @@ type Config struct {
 	// diagnostic dump when an event's timestamp exceeds it (0 = unbounded).
 	MaxCycles int64
 
+	// Cancel, when non-nil, lets the caller abort a run in flight: the
+	// event loop polls it every cancelPollInterval events and, once it is
+	// closed, returns a *fault.FaultError of KindCancelled. This is how a
+	// request deadline or a server drain reaches into a running
+	// simulation (pass ctx.Done()). Cancellation is results-neutral: a
+	// run that completes without observing Cancel is bit-identical to one
+	// with Cancel nil, and an Arena aborted by Cancel is fully reusable —
+	// the next Run resets it exactly as it would after a fault abort.
+	Cancel <-chan struct{}
+
 	// Faults configures deterministic fault injection; the zero value is a
 	// perfect machine and leaves every result bit-identical to a build
 	// without the fault subsystem. When Faults.DefectRate > 0 the caller
@@ -171,6 +181,12 @@ type Result struct {
 	Order  waveorder.Stats
 	Faults fault.Stats
 }
+
+// cancelPollInterval is how many events the run loop processes between
+// polls of Config.Cancel: small enough that cancellation lands within
+// microseconds of wall-clock, large enough that the poll never shows up in
+// a profile.
+const cancelPollInterval = 1024
 
 // event kinds.
 type evKind uint8
@@ -586,7 +602,25 @@ func (s *sim) run() (Result, error) {
 		isa.Dest{Instr: s.prog.Funcs[entry].Params[0], Port: 0},
 		isa.Tag{Ctx: 0, Wave: 0}, 0)
 
+	// Cancellation poll state: checking a channel per event would slow the
+	// hot path, so the loop looks at Cancel once every cancelPollInterval
+	// events — a few microseconds of cancellation latency, zero cost when
+	// Cancel is nil.
+	cancelLeft := cancelPollInterval
 	for s.q.len() > 0 {
+		if s.cfg.Cancel != nil {
+			cancelLeft--
+			if cancelLeft <= 0 {
+				cancelLeft = cancelPollInterval
+				select {
+				case <-s.cfg.Cancel:
+					return Result{}, &fault.FaultError{Kind: fault.KindCancelled, PE: -1, Cycle: s.now,
+						Detail: fmt.Sprintf("run cancelled by caller (t=%d, %d events queued, %d instructions fired)",
+							s.now, s.q.len(), s.res.Fired)}
+				default:
+				}
+			}
+		}
 		idx := s.q.pop()
 		// Copy the event out before releasing: processing it pushes new
 		// events, and slab growth would move the storage under a pointer.

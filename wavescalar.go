@@ -18,6 +18,7 @@
 package wavescalar
 
 import (
+	"errors"
 	"fmt"
 
 	"wavescalar/internal/asm"
@@ -166,6 +167,18 @@ func (p *Program) InterpretWithFuel(fuel int64) (InterpretResult, error) {
 	m := interp.New(p.dataflow, fuel)
 	v, err := m.Run()
 	if err != nil {
+		if errors.Is(err, interp.ErrFuel) {
+			// Budget exhaustion is the interpreter's watchdog: classify it
+			// like the simulators' so callers (and CLI exit codes) see one
+			// fault taxonomy. The interpreter has no cycles; fired
+			// instructions are its time axis.
+			err = &fault.FaultError{
+				Kind:   fault.KindWatchdog,
+				PE:     -1,
+				Cycle:  int64(m.Stats().Fired),
+				Detail: err.Error(),
+			}
+		}
 		return InterpretResult{}, err
 	}
 	st := m.Stats()
