@@ -5,14 +5,23 @@
 
 GO ?= go
 
-.PHONY: ci check vet build test race soak bench bench-base bench-cmp fuzz fuzz-diff corpus
+.PHONY: ci check vet build test race race-shards soak bench bench-base bench-cmp bench-shards fuzz fuzz-diff corpus
 
 ci: vet build test race
 
 # check is the fast pre-commit gate: vet + build + tests (no full race
-# pass), plus the short service soak under -race and a corpus-differential
+# pass), plus a targeted race pass over the shard-engine invariance
+# tests, the short service soak under -race, and a corpus-differential
 # fuzz smoke.
-check: vet build test soak fuzz-diff
+check: vet build test race-shards soak fuzz-diff
+
+# race-shards runs just the sharded-engine tests under the race detector
+# with worker dispatch forced on (the tests pin the dispatch threshold
+# themselves), so the fast gate still exercises cross-goroutine batch
+# execution at shards >= 2. The full `make race` covers the same packages
+# exhaustively.
+race-shards:
+	$(GO) test -race -run 'TestShard' ./internal/wavecache ./internal/harness
 
 vet:
 	$(GO) vet ./...
@@ -95,4 +104,25 @@ bench-cmp:
 		grep '^Benchmark' bench.new.txt | sort > bench.new.sorted.txt; \
 		paste bench.base.sorted.txt bench.new.sorted.txt | column -t; \
 		rm -f bench.base.sorted.txt bench.new.sorted.txt; \
+	fi
+
+# bench-shards compares the experiment benchmarks with the event engine
+# sequential (shards=1) vs sharded (shards=$(SHARDS)) inside every
+# simulation cell. Tables are bit-identical either way — the comparison is
+# wall-clock only. On a single hardware thread worker dispatch can never
+# pay for itself, so the engine collapses both runs to the sequential
+# loop and the comparison degenerates to noise.
+SHARDS ?= 4
+
+bench-shards:
+	WAVESHARDS=1 $(GO) test -bench='$(BENCHRE)' -benchtime=1x -count=$(COUNT) -benchmem -run=^$$ . | tee bench.shards1.txt
+	WAVESHARDS=$(SHARDS) $(GO) test -bench='$(BENCHRE)' -benchtime=1x -count=$(COUNT) -benchmem -run=^$$ . | tee bench.shardsN.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench.shards1.txt bench.shardsN.txt; \
+	else \
+		echo "benchstat not installed; raw comparison:"; \
+		grep '^Benchmark' bench.shards1.txt | sort > bench.s1.sorted.txt; \
+		grep '^Benchmark' bench.shardsN.txt | sort > bench.sN.sorted.txt; \
+		paste bench.s1.sorted.txt bench.sN.sorted.txt | column -t; \
+		rm -f bench.s1.sorted.txt bench.sN.sorted.txt; \
 	fi

@@ -9,6 +9,8 @@ package wavescalar
 // `go run ./cmd/waveexp`.
 
 import (
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -36,6 +38,12 @@ func benchSuite(b *testing.B) []*harness.Compiled {
 func benchMachine() harness.MachineOptions {
 	m := harness.DefaultMachineOptions()
 	m.GridW, m.GridH = 2, 2
+	// WAVESHARDS sets the event-engine shard count inside every simulation
+	// cell (`make bench-shards` drives it). Results are bit-identical at
+	// any setting; only wall-clock moves.
+	if n, err := strconv.Atoi(os.Getenv("WAVESHARDS")); err == nil && n > 0 {
+		m.Shards = n
+	}
 	return m
 }
 

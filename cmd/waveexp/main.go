@@ -51,6 +51,8 @@ func main() {
 	outPath := flag.String("out", "", "write results to this file instead of stdout (atomic: temp file + rename)")
 	unroll := flag.Int("unroll", 4, "loop unrolling factor")
 	jobs := flag.Int("j", runtime.NumCPU(), "worker goroutines for compilation and simulation cells (1 = sequential)")
+	engineShards := flag.Int("shards", 0,
+		"event-engine shards inside each simulation (0 or 1 = sequential; distinct from -shard, which splits corpus cells); results are bit-identical at every setting")
 	metrics := flag.Bool("metrics", false,
 		"aggregate WaveCache trace metrics across each experiment's cells and print a summary table after it")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (go tool pprof format) to this file")
@@ -105,7 +107,7 @@ func main() {
 	}
 
 	if *corpusN > 0 {
-		runCorpus(out, *corpusN, *corpusSeed, *cacheDir, *shard, *resume, *jobs)
+		runCorpus(out, *corpusN, *corpusSeed, *cacheDir, *shard, *resume, *jobs, *engineShards)
 		if err := commit(); err != nil {
 			fatal(err)
 		}
@@ -132,6 +134,7 @@ func main() {
 
 	m := harness.DefaultMachineOptions()
 	m.Workers = *jobs
+	m.Shards = *engineShards
 	if *metrics {
 		m.Metrics = trace.NewAggregate()
 	}
@@ -170,7 +173,7 @@ func main() {
 // the section header and the table — goes to out, so an -out file from a
 // sharded, resumed, or cached run is byte-identical to a single
 // invocation's; run statistics and timing go to stderr.
-func runCorpus(out io.Writer, n int, seed int64, cacheDir, shard string, resume bool, jobs int) {
+func runCorpus(out io.Writer, n int, seed int64, cacheDir, shard string, resume bool, jobs, engineShards int) {
 	o := harness.CorpusOptions{
 		N:        n,
 		Seed:     seed,
@@ -181,6 +184,9 @@ func runCorpus(out io.Writer, n int, seed int64, cacheDir, shard string, resume 
 	}
 	o.Compile.Workers = jobs
 	o.Machine.Workers = jobs
+	// Engine shards change cell wall-clock, never cell results, so the
+	// content-addressed cell cache is shared across -shards settings.
+	o.Machine.Shards = engineShards
 	if shard != "" {
 		if _, err := fmt.Sscanf(shard, "%d/%d", &o.Shard, &o.Shards); err != nil || o.Shards < 1 || o.Shard < 1 || o.Shard > o.Shards {
 			fatal(fmt.Errorf("bad -shard %q (want k/n with 1 <= k <= n)", shard))

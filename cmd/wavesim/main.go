@@ -40,6 +40,8 @@ func main() {
 	density := flag.Int("density", 16, "instruction homes packed per PE")
 	queue := flag.Int("queue", 64, "PE matching-table capacity")
 	unroll := flag.Int("unroll", 4, "loop unrolling factor")
+	shards := flag.Int("shards", 0,
+		"event-engine shards (0 or 1 = sequential); results are bit-identical at every setting")
 	baseline := flag.Bool("baseline", false, "also run the superscalar baseline and report speedup")
 	faults := flag.String("faults", "",
 		"fault injection spec: defect=R,drop=R,delay=R,memloss=R,kill=PE@CYCLE,retries=N,timeout=C,delaycycles=C")
@@ -96,6 +98,7 @@ func main() {
 		Faults:     *faults,
 		FaultSeed:  *faultSeed,
 		Tracer:     tr,
+		Shards:     *shards,
 	})
 	if err != nil {
 		fatal(err)

@@ -225,6 +225,12 @@ type MachineOptions struct {
 	// default — leaves the simulators' tracing disabled and all tables
 	// byte-identical to a metrics-free build.
 	Metrics *trace.Aggregate
+	// Shards is the per-simulation event-engine shard count handed to
+	// every WaveCache cell (wavecache.Config.Shards): 0 or 1 runs the
+	// sequential engine, higher values partition the clusters into
+	// parallel shards. Results are bit-identical at every setting — the
+	// knob trades scheduling for wall-clock, never output.
+	Shards int
 	// Ctx, when non-nil, cancels a sweep cooperatively: the worker pool
 	// stops claiming cells once Ctx is done, and every WaveCache cell
 	// inherits Ctx.Done() as its wavecache.Config.Cancel channel, so a
@@ -248,6 +254,7 @@ func (m MachineOptions) WaveConfig() wavecache.Config {
 	cfg.InputQueue = m.InputQueue
 	cfg.Metrics = m.Metrics
 	cfg.MaxCycles = m.MaxCycles
+	cfg.Shards = m.Shards
 	if m.Ctx != nil {
 		cfg.Cancel = m.Ctx.Done()
 	}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"wavescalar/internal/fault"
+	"wavescalar/internal/placement"
+	"wavescalar/internal/trace"
+	"wavescalar/internal/wavecache"
+)
+
+// forceShardDispatch pins the engine's dispatch threshold to 1 for the
+// test so worker dispatch engages even on single-CPU hosts, restoring the
+// default on cleanup.
+func forceShardDispatch(t *testing.T) {
+	t.Helper()
+	old := wavecache.SetShardDispatchMin(1)
+	t.Cleanup(func() { wavecache.SetShardDispatchMin(old) })
+}
+
+// TestExperimentShardInvariance: representative experiment tables — E1
+// (baseline comparison), E4 (network sensitivity), E12 (fault sweep) —
+// and their metrics aggregates must be byte-identical at shards 1, 2,
+// and 4. E12's cells inject faults and therefore exercise the pin-to-
+// sequential path inside a sharded sweep.
+func TestExperimentShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is slow")
+	}
+	forceShardDispatch(t)
+	set := quickSet(t)
+	for _, id := range []string{"E1", "E4", "E12"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e := ExperimentByID(id)
+			if e == nil {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			run := func(shards int) (string, trace.Metrics) {
+				m := quickMachine()
+				m.Shards = shards
+				m.Metrics = trace.NewAggregate()
+				tbl, err := e.Run(set, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tbl.Render(), m.Metrics.Snapshot()
+			}
+			baseTbl, baseM := run(1)
+			for _, shards := range []int{2, 4} {
+				tbl, m := run(shards)
+				if tbl != baseTbl {
+					t.Errorf("%s table diverged at shards=%d:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+						id, shards, baseTbl, shards, tbl)
+				}
+				if !reflect.DeepEqual(baseM, m) {
+					t.Errorf("%s metrics aggregate diverged at shards=%d:\n%+v\n%+v", id, shards, baseM, m)
+				}
+			}
+		})
+	}
+}
+
+// TestShardInvarianceMidRunKill: a mid-run PE death whose migration
+// crosses the shard boundary — PE 0 lives in shard 0's cluster range,
+// and on a 4x4 grid the survivors span all four shards — must produce
+// the identical Result and memory image at every shard setting. Fault
+// injection pins the engine sequential, so this asserts the pinning
+// contract end to end through the harness plumbing.
+func TestShardInvarianceMidRunKill(t *testing.T) {
+	forceShardDispatch(t)
+	set := quickSet(t)
+	c := set[0] // lu
+	fc := fault.Config{Seed: e12Seed, KillPE: 0, KillCycle: 500}
+	run := func(shards int) (wavecache.Result, []int64) {
+		m := DefaultMachineOptions()
+		m.Shards = shards
+		cfg := m.WaveConfig()
+		cfg.Faults = fc
+		cfg.MaxCycles = 50_000_000
+		pol, err := placement.New(m.Policy, cfg.Machine, c.Wave, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, mem, err := wavecache.RunWithMemory(c.Wave, pol, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, mem
+	}
+	base, baseMem := run(1)
+	if base.Faults.PEKills != 1 || base.Faults.MigratedInstrs == 0 {
+		t.Fatalf("kill scenario did not migrate: %+v", base.Faults)
+	}
+	for _, shards := range []int{2, 4} {
+		res, mem := run(shards)
+		if !reflect.DeepEqual(base, res) {
+			t.Errorf("kill run diverged at shards=%d:\n%+v\n%+v", shards, base, res)
+		}
+		if !reflect.DeepEqual(baseMem, mem) {
+			t.Errorf("kill run memory image diverged at shards=%d", shards)
+		}
+	}
+}
+
+// TestShardWorkerCountComposition: engine shards compose with sweep
+// workers — a sharded engine inside a parallel sweep must render the
+// same tables as a sequential sweep of sequential engines.
+func TestShardWorkerCountComposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is slow")
+	}
+	forceShardDispatch(t)
+	set := quickSet(t)
+	e := ExperimentByID("E4")
+	seq := quickMachine()
+	seq.Workers = 1
+	par := quickMachine()
+	par.Workers = 8
+	par.Shards = 4
+	t1, err := e.Run(set, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.Run(set, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Render() != t2.Render() {
+		t.Errorf("tables differ between (j=1, shards=1) and (j=8, shards=4):\n%s\n%s",
+			t1.Render(), t2.Render())
+	}
+}

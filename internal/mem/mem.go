@@ -177,12 +177,13 @@ type System struct {
 	cfg SystemConfig
 	l1s []*cache
 	l2  *cache
-	dir map[int64]*dirState
 
-	// dirPool recycles directory entries across lines and across Reset, so
-	// steady-state coherence tracking stops touching the allocator once a
-	// run's working set of lines has been seen.
-	dirPool []*dirState
+	// dir is the coherence directory, indexed densely by L1 line number;
+	// an entry with sharers == 0 is absent. The execution engines clamp
+	// every address to the program's memory image, so the line space is
+	// small and bounded and a flat slice beats a map on the access path.
+	// Grown lazily by dirEnsure.
+	dir []dirState
 
 	stats  Stats
 	perL1  []Stats
@@ -203,7 +204,6 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	s := &System{
 		cfg:    cfg,
 		l2:     newCache(cfg.L2),
-		dir:    make(map[int64]*dirState),
 		perL1:  make([]Stats, cfg.NumL1s),
 		lineSz: cfg.L1.LineWords,
 	}
@@ -214,10 +214,9 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 }
 
 // Reset returns the hierarchy to its post-NewSystem state under cfg,
-// reusing the cache arrays, directory map buckets, and directory-entry
-// pool when the shape (L1 count, cache geometries) is unchanged; a shape
-// change rebuilds the arrays. Identical behaviour to a fresh NewSystem
-// either way.
+// reusing the cache arrays and the directory slice when the shape (L1
+// count, cache geometries) is unchanged; a shape change rebuilds the
+// arrays. Identical behaviour to a fresh NewSystem either way.
 func (s *System) Reset(cfg SystemConfig) error {
 	sameShape := cfg.NumL1s == s.cfg.NumL1s && cfg.L1 == s.cfg.L1 && cfg.L2 == s.cfg.L2
 	if !sameShape {
@@ -225,7 +224,8 @@ func (s *System) Reset(cfg SystemConfig) error {
 		if err != nil {
 			return err
 		}
-		fresh.dirPool = s.dirPool
+		fresh.dir = s.dir
+		clear(fresh.dir)
 		*s = *fresh
 		return nil
 	}
@@ -239,23 +239,32 @@ func (s *System) Reset(cfg SystemConfig) error {
 	for _, c := range s.l1s {
 		c.reset()
 	}
-	for line, d := range s.dir {
-		s.dirPool = append(s.dirPool, d)
-		delete(s.dir, line)
+	clear(s.dir)
+	return nil
+}
+
+// dirAt returns the directory entry for a line, or nil if the line is
+// untracked (no L1 holds it).
+func (s *System) dirAt(line int64) *dirState {
+	if line < int64(len(s.dir)) {
+		if d := &s.dir[line]; d.sharers != 0 {
+			return d
+		}
 	}
 	return nil
 }
 
-// allocDir takes a directory entry from the pool (or allocates one) and
-// initializes it to the unowned state.
-func (s *System) allocDir() *dirState {
-	if n := len(s.dirPool); n > 0 {
-		d := s.dirPool[n-1]
-		s.dirPool = s.dirPool[:n-1]
-		*d = dirState{owner: -1}
-		return d
+// dirEnsure grows the directory to cover a line and returns its entry,
+// initialized to the unowned state.
+func (s *System) dirEnsure(line int64) *dirState {
+	if line >= int64(len(s.dir)) {
+		grown := make([]dirState, max(line+1, int64(2*len(s.dir))))
+		copy(grown, s.dir)
+		s.dir = grown
 	}
-	return &dirState{owner: -1}
+	d := &s.dir[line]
+	*d = dirState{owner: -1}
+	return d
 }
 
 // Stats returns aggregate counters.
@@ -275,7 +284,7 @@ func (s *System) Access(l1 int, addr int64, write bool) AccessResult {
 	s.perL1[l1].Accesses++
 
 	res := AccessResult{Latency: s.cfg.L1Latency}
-	d := s.dir[line]
+	d := s.dirAt(line)
 
 	if s.l1s[l1].lookup(line) {
 		// L1 hit; a write to a shared line still needs the directory to
@@ -328,20 +337,15 @@ func (s *System) Access(l1 int, addr int64, write bool) AccessResult {
 	// Fill into the requesting L1.
 	if ev := s.l1s[l1].insert(line); ev != -1 {
 		s.stats.Evictions++
-		if de := s.dir[ev]; de != nil {
+		if de := s.dirAt(ev); de != nil {
 			de.sharers &^= 1 << uint(l1)
 			if de.owner == l1 {
 				de.owner = -1
 			}
-			if de.sharers == 0 {
-				delete(s.dir, ev)
-				s.dirPool = append(s.dirPool, de)
-			}
 		}
 	}
 	if d == nil {
-		d = s.allocDir()
-		s.dir[line] = d
+		d = s.dirEnsure(line)
 	}
 	d.sharers |= 1 << uint(l1)
 	if write {

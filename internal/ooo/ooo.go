@@ -100,55 +100,107 @@ type Result struct {
 // capSchedule grants at most width events per cycle. Full cycles carry
 // path-compressed skip pointers to the next candidate cycle, so a reserve
 // behind an arbitrarily long full region costs amortized near-constant
-// time.
+// time. The cycle -> cell mapping is an open-addressed, linear-probed
+// table (same idiom as internal/tagtable): reserve dominates the
+// superscalar model's profile, and the Go map's hash-and-bucket machinery
+// was most of its cost. Cells are never deleted — the set of touched
+// cycles is exactly what the old map retained too.
 type capSchedule struct {
-	width     int
-	counts    map[int64]int
-	skip      map[int64]int64
-	low       int64
-	nextPrune int
+	width int32
+	low   int64
+	keys  []int64   // cycle+1 per slot; 0 = empty
+	cells []capCell // parallel to keys
+	n     int       // live slots
+	chain []int64   // reusable path-compression scratch (slot indices)
+}
+
+// capCell is one cycle's schedule state. skip == 0 means "no skip
+// pointer" (a real skip target is always > its source cycle >= 0, so 0
+// is never a valid target).
+type capCell struct {
+	count int32
+	skip  int64
 }
 
 func newCapSchedule(width int) *capSchedule {
-	return &capSchedule{width: width, counts: make(map[int64]int), skip: make(map[int64]int64),
-		nextPrune: 1 << 18}
+	const initSlots = 1 << 10
+	return &capSchedule{
+		width: int32(width),
+		keys:  make([]int64, initSlots),
+		cells: make([]capCell, initSlots),
+	}
 }
 
-// firstFree returns the first cycle >= t with spare capacity, compressing
-// skip pointers along the way.
-func (c *capSchedule) firstFree(t int64) int64 {
-	var chain []int64
-	for c.counts[t] >= c.width {
-		chain = append(chain, t)
-		if next, ok := c.skip[t]; ok {
-			t = next
-		} else {
-			t++
+func cycleHash(k int64) uint64 {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	return h ^ h>>29
+}
+
+// slot returns the index holding cycle t, or the empty slot where it
+// would be inserted.
+func (c *capSchedule) slot(t int64) int {
+	mask := uint64(len(c.keys) - 1)
+	i := cycleHash(t+1) & mask
+	for {
+		k := c.keys[i]
+		if k == 0 || k == t+1 {
+			return int(i)
 		}
+		i = (i + 1) & mask
 	}
-	for _, x := range chain {
-		c.skip[x] = t
-	}
-	return t
 }
 
-// reserve returns the first cycle >= t with a free slot and takes it.
+func (c *capSchedule) grow() {
+	oldKeys, oldCells := c.keys, c.cells
+	c.keys = make([]int64, 2*len(oldKeys))
+	c.cells = make([]capCell, len(c.keys))
+	mask := uint64(len(c.keys) - 1)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := cycleHash(k) & mask
+		for c.keys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		c.keys[j] = k
+		c.cells[j] = oldCells[i]
+	}
+}
+
+// reserve returns the first cycle >= t with a free slot and takes it,
+// compressing skip pointers along the probed chain.
 func (c *capSchedule) reserve(t int64) int64 {
 	if t < c.low {
 		t = c.low
 	}
-	t = c.firstFree(t)
-	c.counts[t]++
-	if len(c.counts) > c.nextPrune {
-		for k := range c.counts {
-			if k < c.low {
-				delete(c.counts, k)
-				delete(c.skip, k)
-			}
+	chain := c.chain[:0]
+	var si int
+	for {
+		si = c.slot(t)
+		if c.keys[si] == 0 || c.cells[si].count < c.width {
+			break
 		}
-		// If low never advances (issue/commit schedules), pruning frees
-		// nothing; back off so the scan stays amortized.
-		c.nextPrune = len(c.counts)*2 + 1<<18
+		chain = append(chain, int64(si))
+		if nx := c.cells[si].skip; nx != 0 {
+			t = nx
+		} else {
+			t++
+		}
+	}
+	for _, s := range chain {
+		c.cells[s].skip = t
+	}
+	c.chain = chain
+	if c.keys[si] == 0 {
+		c.keys[si] = t + 1
+		c.cells[si] = capCell{count: 1}
+		c.n++
+		if c.n*4 >= len(c.keys)*3 {
+			c.grow()
+		}
+	} else {
+		c.cells[si].count++
 	}
 	return t
 }
@@ -158,6 +210,34 @@ func (c *capSchedule) advanceLow(t int64) {
 	if t > c.low {
 		c.low = t
 	}
+}
+
+// monoSchedule is the capSchedule specialization for monotone
+// non-decreasing request streams — fetch (requests at fetchMin, which
+// only moves forward) and commit (requests at the retirement frontier).
+// Under a monotone stream every cycle below the last grant is either full
+// or unreachable, so the frontier cycle and its count are the entire
+// state; behaviour is observably identical to capSchedule.
+type monoSchedule struct {
+	width int32
+	count int32
+	cur   int64
+}
+
+func newMonoSchedule(width int) *monoSchedule {
+	return &monoSchedule{width: int32(width), cur: -1}
+}
+
+func (m *monoSchedule) reserve(t int64) int64 {
+	if t > m.cur {
+		m.cur, m.count = t, 0
+	}
+	if m.count >= m.width {
+		m.cur++
+		m.count = 0
+	}
+	m.count++
+	return m.cur
 }
 
 // gshare is a global-history branch predictor with 2-bit counters.
@@ -217,9 +297,9 @@ type callFrame struct {
 type core struct {
 	cfg       Config
 	prog      *linear.Program
-	fetch     *capSchedule
+	fetch     *monoSchedule
 	issue     *capSchedule
-	commit    *capSchedule
+	commit    *monoSchedule
 	aluPort   *capSchedule
 	mulPort   *capSchedule
 	loadPort  *capSchedule
@@ -270,9 +350,9 @@ func Run(p *linear.Program, cfg Config) (Result, error) {
 	c := &core{
 		cfg:        cfg,
 		prog:       p,
-		fetch:      newCapSchedule(cfg.FetchWidth),
+		fetch:      newMonoSchedule(cfg.FetchWidth),
 		issue:      newCapSchedule(cfg.IssueWidth),
-		commit:     newCapSchedule(cfg.CommitWidth),
+		commit:     newMonoSchedule(cfg.CommitWidth),
 		aluPort:    newCapSchedule(cfg.ALUPorts),
 		mulPort:    newCapSchedule(cfg.MulDivPorts),
 		loadPort:   newCapSchedule(cfg.LoadPorts),
@@ -428,7 +508,6 @@ func (c *core) step(ev linear.TraceEvent) {
 	c.lastCommit = ct
 	c.robCommits[c.robHead] = ct
 	c.robHead = (c.robHead + 1) % c.cfg.ROBSize
-	c.fetch.advanceLow(c.fetchMin)
 }
 
 // fuPort selects the functional-unit port pool for an ALU instruction.

@@ -1,6 +1,7 @@
 package ooo
 
 import (
+	"math/rand"
 	"reflect"
 	"sync"
 	"testing"
@@ -205,6 +206,43 @@ func TestCapSchedule(t *testing.T) {
 	s.advanceLow(20)
 	if s.reserve(5) != 20 {
 		t.Error("advanceLow not respected")
+	}
+}
+
+// TestCapScheduleDifferential pins the open-addressed capSchedule against
+// a naive per-cycle-count reference on pseudo-random request streams, and
+// monoSchedule against capSchedule on monotone streams (the only streams
+// monoSchedule is specified for: fetch and commit).
+func TestCapScheduleDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		width := 1 + rng.Intn(4)
+		s := newCapSchedule(width)
+		counts := map[int64]int{} // reference: linear scan over exact counts
+		for i := 0; i < 5000; i++ {
+			req := int64(rng.Intn(300))
+			want := req
+			for counts[want] >= width {
+				want++
+			}
+			counts[want]++
+			if got := s.reserve(req); got != want {
+				t.Fatalf("trial %d req %d: capSchedule granted %d, reference %d", trial, req, got, want)
+			}
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		width := 1 + rng.Intn(4)
+		m := newMonoSchedule(width)
+		s := newCapSchedule(width)
+		req := int64(0)
+		for i := 0; i < 5000; i++ {
+			req += int64(rng.Intn(3)) // monotone non-decreasing
+			got, want := m.reserve(req), s.reserve(req)
+			if got != want {
+				t.Fatalf("trial %d req %d: monoSchedule granted %d, capSchedule %d", trial, req, got, want)
+			}
+		}
 	}
 }
 

@@ -37,6 +37,12 @@ type SimulateRequest struct {
 	// drives it deterministically.
 	Faults    string `json:"faults,omitempty"`
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// Shards is the event-engine shard count inside the simulation (0 or
+	// 1 = sequential; clamped server-side to the grid's cluster count).
+	// Results are bit-identical at every setting — the knob trades
+	// scheduling for wall-clock — so it does not partition the
+	// idempotency cache.
+	Shards int `json:"shards,omitempty"`
 	// DeadlineMS bounds the request's wall-clock time (0 = server default;
 	// clamped to the server maximum). On expiry the simulation is
 	// cancelled mid-run and the request fails with code "deadline".

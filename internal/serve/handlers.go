@@ -178,6 +178,28 @@ func (s *Server) classifyRunError(ctx context.Context, err error) *ErrorResponse
 		Error: err.Error()}
 }
 
+// retryHintMS converts an admission wait into the retry_after_ms hint:
+// the wait rounded up to a whole millisecond — truncation told clients
+// with sub-millisecond waits to retry immediately — clamped to >= 1ms,
+// plus a small deterministic jitter keyed on (tenant, rejection ordinal)
+// so a burst of simultaneously throttled clients is spread out instead of
+// being synchronized into a retry stampede. Deterministic: the same
+// rejection sequence against an identical server produces the same hints.
+func retryHintMS(tn *tenant, wait time.Duration) int64 {
+	ms := int64((wait + time.Millisecond - 1) / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	h := uint64(14695981039346656037) // FNV-1a over the tenant name...
+	for i := 0; i < len(tn.name); i++ {
+		h = (h ^ uint64(tn.name[i])) * 1099511628211
+	}
+	h = (h ^ tn.retrySeq.Add(1)) * 1099511628211 // ...and the rejection ordinal
+	// Jitter scales with the base wait (half again, minimum a few ms) so
+	// the spread is proportional without dwarfing the hint.
+	return ms + int64(h%uint64(ms/2+4))
+}
+
 // admit runs the two-stage admission pipeline: the tenant's token bucket
 // (429 with a retry hint), then the bounded global queue (503 shed), then
 // a wait for a run slot that respects the request's deadline. On success
@@ -186,13 +208,13 @@ func (s *Server) admit(ctx context.Context, tn *tenant) (release func(), apiErr 
 	if ok, wait := tn.take(s.cfg.now(), s.cfg.TenantRate, s.cfg.TenantBurst); !ok {
 		return nil, &ErrorResponse{Code: CodeRateLimited, Status: http.StatusTooManyRequests,
 			Error:        fmt.Sprintf("tenant %q over its admission rate (%.3g req/s, burst %d)", tn.name, s.cfg.TenantRate, s.cfg.TenantBurst),
-			RetryAfterMS: wait.Milliseconds() + 1}
+			RetryAfterMS: retryHintMS(tn, wait)}
 	}
 	if q := s.queued.Add(1); q > int64(s.cfg.MaxQueue+s.cfg.MaxConcurrent) {
 		s.queued.Add(-1)
 		return nil, &ErrorResponse{Code: CodeOverCapacity, Status: http.StatusServiceUnavailable,
 			Error:        fmt.Sprintf("work queue full (%d admitted); load shed", q-1),
-			RetryAfterMS: 1000}
+			RetryAfterMS: retryHintMS(tn, time.Second)}
 	}
 	select {
 	case s.slots <- struct{}{}:
@@ -264,6 +286,9 @@ type simSpec struct {
 	maxCycles    int64
 	faults       string
 	faultSeed    uint64
+	// shards is the engine shard count; results are invariant to it, so
+	// it participates in execution but never in the cache key.
+	shards int
 }
 
 // resolveSource yields (name, source) from a workload-or-inline request
@@ -349,6 +374,10 @@ func (s *Server) normalizeSimulate(req *SimulateRequest) (*simSpec, *ErrorRespon
 		if _, err := fault.ParseSpec(sp.faults); err != nil {
 			return nil, invalidErr("bad faults spec: %v", err)
 		}
+	}
+	sp.shards = req.Shards
+	if sp.shards < 0 || sp.shards > 1024 {
+		return nil, invalidErr("shards %d out of range (0 .. 1024)", req.Shards)
 	}
 	return sp, nil
 }
@@ -447,6 +476,7 @@ func (s *Server) simulate(ctx context.Context, sp *simSpec, wantMetrics bool) (*
 	m.GridW, m.GridH = sp.gridW, sp.gridH
 	m.Policy = sp.policy
 	m.MaxCycles = sp.maxCycles
+	m.Shards = sp.shards
 	m.Ctx = ctx
 	cfg := m.WaveConfig()
 	cfg.MemMode = sp.memMode

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -534,5 +535,125 @@ func TestStatsAndHealth(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 503 {
 		t.Fatalf("healthz %d while draining, want 503", resp.StatusCode)
+	}
+}
+
+// TestRetryHintStampede is the regression test for the admission-hint
+// stampede: a burst of simultaneously throttled clients must each get a
+// hint that is (a) at least 1ms — a truncated-to-zero hint told everyone
+// to retry immediately — and (b) spread by deterministic jitter, so the
+// herd does not resynchronize on the same retry instant. The jitter is a
+// pure function of (tenant, rejection ordinal): an identical server
+// receiving the identical rejection sequence produces the identical
+// hints.
+func TestRetryHintStampede(t *testing.T) {
+	mkServer := func() (*Server, *Client) {
+		cfg := testConfig()
+		// A very high refill rate makes the bucket wait sub-millisecond —
+		// the exact case the old truncation turned into "retry now".
+		cfg.TenantRate = 5000
+		cfg.TenantBurst = 1
+		now := time.Unix(1_000_000, 0)
+		cfg.now = func() time.Time { return now } // frozen clock: no refills
+		return newTestServer(t, cfg)
+	}
+	collect := func(s *Server, client *Client) []int64 {
+		req := SimulateRequest{Source: fastSrc}
+		if _, apiErr, err := client.Simulate(context.Background(), req); err != nil || apiErr != nil {
+			t.Fatalf("burst request rejected: err=%v apiErr=%+v", err, apiErr)
+		}
+		hints := make([]int64, 0, 16)
+		for i := 0; i < 16; i++ {
+			_, apiErr, err := client.Simulate(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if apiErr == nil || apiErr.Code != CodeRateLimited {
+				t.Fatalf("request %d: expected 429, got %+v", i, apiErr)
+			}
+			hints = append(hints, apiErr.RetryAfterMS)
+		}
+		return hints
+	}
+
+	s1, c1 := mkServer()
+	defer s1.StopJanitor()
+	hints := collect(s1, c1)
+	distinct := map[int64]bool{}
+	for i, h := range hints {
+		if h < 1 {
+			t.Errorf("hint %d is %dms; sub-millisecond waits must clamp to >= 1ms", i, h)
+		}
+		distinct[h] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("all %d throttled clients told to retry at the same instant (%v): stampede", len(hints), hints)
+	}
+
+	// Determinism: an identical server under the identical sequence.
+	s2, c2 := mkServer()
+	defer s2.StopJanitor()
+	if again := collect(s2, c2); !reflect.DeepEqual(hints, again) {
+		t.Errorf("retry hints are not deterministic:\n%v\n%v", hints, again)
+	}
+}
+
+// TestSimulateShardsInvariant: the per-request engine-shard knob changes
+// scheduling, never results — the served result is byte-identical at
+// every setting, and because results are invariant the idempotency cache
+// is shared across shard settings (the second request replays the
+// first's entry).
+func TestSimulateShardsInvariant(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheDir = t.TempDir()
+	s, client := newTestServer(t, cfg)
+	defer s.StopJanitor()
+
+	base, apiErr, err := client.Simulate(context.Background(), SimulateRequest{Source: fastSrc})
+	if err != nil || apiErr != nil {
+		t.Fatalf("err=%v apiErr=%+v", err, apiErr)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		got, apiErr, err := client.Simulate(context.Background(),
+			SimulateRequest{Source: fastSrc, Shards: shards})
+		if err != nil || apiErr != nil {
+			t.Fatalf("shards=%d: err=%v apiErr=%+v", shards, err, apiErr)
+		}
+		if mustJSON(t, got.Result) != mustJSON(t, base.Result) {
+			t.Fatalf("shards=%d result diverged:\n%s\n%s", shards,
+				mustJSON(t, got.Result), mustJSON(t, base.Result))
+		}
+		if !got.Cached {
+			t.Errorf("shards=%d recomputed; the cache must be shared across shard settings", shards)
+		}
+	}
+	// Fresh (uncached) compute at shards=4 must also match: distinct
+	// source text, simulated twice, once per engine.
+	src := fastSrc + "\n// shards-invariance variant\n"
+	a, apiErr, err := client.Simulate(context.Background(), SimulateRequest{Source: src})
+	if err != nil || apiErr != nil {
+		t.Fatalf("err=%v apiErr=%+v", err, apiErr)
+	}
+	s2, client2 := newTestServer(t, testConfig())
+	defer s2.StopJanitor()
+	b, apiErr, err := client2.Simulate(context.Background(), SimulateRequest{Source: src, Shards: 4})
+	if err != nil || apiErr != nil {
+		t.Fatalf("err=%v apiErr=%+v", err, apiErr)
+	}
+	if mustJSON(t, a.Result) != mustJSON(t, b.Result) {
+		t.Fatalf("fresh shards=4 result diverged from sequential:\n%s\n%s",
+			mustJSON(t, a.Result), mustJSON(t, b.Result))
+	}
+	if b.Cached {
+		t.Fatal("second server unexpectedly replayed from cache; test proves nothing")
+	}
+
+	// Validation: out-of-range shard counts are a 400, not a crash.
+	_, apiErr, err = client.Simulate(context.Background(), SimulateRequest{Source: fastSrc, Shards: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apiErr == nil || apiErr.Code != CodeInvalid {
+		t.Fatalf("shards=-1 should be invalid, got %+v", apiErr)
 	}
 }

@@ -28,6 +28,11 @@ type tenant struct {
 
 	lastSeen atomic.Int64 // unix nanos of the last request, for idle pruning
 
+	// retrySeq orders this tenant's throttle rejections; it seeds the
+	// deterministic retry-hint jitter so simultaneously rejected clients
+	// are told different retry times (see retryHintMS).
+	retrySeq atomic.Uint64
+
 	// Outcome counters: every admitted-or-rejected request increments
 	// exactly one of these.
 	ok            atomic.Uint64 // 200 with a computed result

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"wavescalar/internal/fault"
+	"wavescalar/internal/isa"
 	"wavescalar/internal/lang"
 	"wavescalar/internal/placement"
 	"wavescalar/internal/testprogs"
@@ -161,23 +162,81 @@ func TestRetryExhaustionIsStructuredError(t *testing.T) {
 }
 
 // TestWatchdogMaxCycles: an undersized cycle budget must abort with the
-// watchdog's diagnostic dump rather than run on.
+// watchdog's diagnostic dump rather than run on — and the dump must be
+// deterministic: two runs of the same abort produce byte-identical
+// diagnostics (no Go map iteration order leaking into any section), so
+// dumps are diffable across runs and engines.
 func TestWatchdogMaxCycles(t *testing.T) {
 	wp := compileSource(t, testprogs.Heavy[1].Src)
-	cfg := DefaultConfig(2, 2)
-	cfg.MaxCycles = 10
-	_, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
-	var fe *fault.FaultError
-	if !errors.As(err, &fe) {
-		t.Fatalf("want *fault.FaultError, got %v", err)
-	}
-	if fe.Kind != fault.KindWatchdog {
-		t.Fatalf("kind %v, want watchdog", fe.Kind)
-	}
-	for _, needle := range []string{"watchdog report", "wave-ordering state", "partial operand tuples"} {
-		if !strings.Contains(err.Error(), needle) {
-			t.Errorf("diagnostic dump missing %q:\n%v", needle, err)
+	watchdogDump := func(maxCycles int64) string {
+		cfg := DefaultConfig(2, 2)
+		cfg.MaxCycles = maxCycles
+		_, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
+		var fe *fault.FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("want *fault.FaultError, got %v", err)
 		}
+		if fe.Kind != fault.KindWatchdog {
+			t.Fatalf("kind %v, want watchdog", fe.Kind)
+		}
+		return err.Error()
+	}
+	// A late trip leaves hundreds of partial tuples and wave-ordering
+	// chains in flight — the state most likely to expose nondeterministic
+	// rendering.
+	for _, maxCycles := range []int64{10, 300} {
+		dump := watchdogDump(maxCycles)
+		for _, needle := range []string{"watchdog report", "wave-ordering state", "partial operand tuples"} {
+			if !strings.Contains(dump, needle) {
+				t.Errorf("diagnostic dump missing %q:\n%v", needle, dump)
+			}
+		}
+		if again := watchdogDump(maxCycles); again != dump {
+			t.Errorf("max-cycles=%d: two identical aborts produced different dumps:\n--- first ---\n%s\n--- second ---\n%s",
+				maxCycles, dump, again)
+		}
+	}
+}
+
+// TestDeadlockDumpDeterministic drives the other diagnostic branch — the
+// event queue draining without a program return — with a hand-built
+// program whose entry feeds only one port of a two-input add. The abort
+// must be a structured watchdog-kind fault carrying the dump, and two
+// identical deadlocks must render byte-identical diagnostics.
+func TestDeadlockDumpDeterministic(t *testing.T) {
+	prog := &isa.Program{
+		Entry: 0,
+		Funcs: []isa.Function{{
+			Name: "main",
+			Instrs: []isa.Instruction{
+				{Op: isa.OpNop, Dests: []isa.Dest{{Instr: 1, Port: 0}}},
+				{Op: isa.OpAdd}, // port 1 never receives a token
+			},
+			Params:   []isa.InstrID{0},
+			NumWaves: 1,
+		}},
+		MemWords: 64,
+	}
+	deadlockDump := func() string {
+		cfg := DefaultConfig(2, 2)
+		_, err := Run(prog, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
+		var fe *fault.FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("want *fault.FaultError, got %v", err)
+		}
+		if fe.Kind != fault.KindWatchdog {
+			t.Fatalf("kind %v, want watchdog", fe.Kind)
+		}
+		return err.Error()
+	}
+	dump := deadlockDump()
+	for _, needle := range []string{"deadlock", "partial operand tuples", "wave-ordering state"} {
+		if !strings.Contains(dump, needle) {
+			t.Errorf("deadlock dump missing %q:\n%v", needle, dump)
+		}
+	}
+	if again := deadlockDump(); again != dump {
+		t.Errorf("two identical deadlocks produced different dumps:\n--- first ---\n%s\n--- second ---\n%s", dump, again)
 	}
 }
 

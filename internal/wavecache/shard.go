@@ -1,0 +1,591 @@
+// The parallel engine: cluster-sharded fork-join over same-timestamp event
+// batches.
+//
+// A discrete-event simulation of a clustered machine has a natural shard
+// boundary — the cluster — but WaveScalar's operand network delivers
+// same-cycle traffic (pod bypass at +1 cycle, back-dated MemIdeal replies),
+// so a classic conservative-lookahead PDES window would be a single cycle
+// anyway. The engine therefore synchronizes at the tightest window that is
+// always safe: one timestamp. Every event at the current minimum time t is
+// popped (in global (time, seq) order) into a batch; a coordinator pass
+// classifies each event in batch order, resolving instruction placement at
+// exactly the position the sequential engine would; events that touch only
+// one shard's state — token deliveries, and firings whose destinations all
+// sit in the firing PE's cluster (fixed bus latencies, no shared link
+// state) — are farmed out to that shard's worker, while memory, ordering,
+// context, and cross-cluster traffic runs inline on the coordinator.
+//
+// Bit-identity at any shard count is structural, not statistical:
+//
+//   - shards own disjoint state (their clusters' PEs, operand tables, and
+//     a private operand slab), so worker interleaving cannot race;
+//   - children produced during a batch are staged, then replayed at the
+//     barrier in (batch position, production order) — the exact order the
+//     sequential engine would have pushed them — before seq stamping, so
+//     the global (time, seq) order is reproduced byte-for-byte;
+//   - per-shard counters, network stats, and metrics-only tracers merge
+//     with commutative sums/maxes;
+//   - the first error by batch position wins, matching sequential
+//     first-error semantics (later shards' partial work is discarded with
+//     the run);
+//   - MemIdeal is the one configuration that can schedule a child EARLIER
+//     than the batch being processed (oracle replies are timed from the
+//     PE firing, not the issue), and sequentially that child preempts the
+//     rest of the batch — so back-dating runs record original seq stamps
+//     and truncate the batch at the producing event, restoring the
+//     unprocessed tail under its original keys (see restoreTail).
+//
+// Fault-injected runs and event-stream tracers consume their streams in
+// global event order and pin to the sequential engine (see Config.Shards).
+package wavecache
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wavescalar/internal/isa"
+	"wavescalar/internal/noc"
+	"wavescalar/internal/trace"
+)
+
+// shardDispatchMin is the smallest batch the parallel engine will classify
+// for worker dispatch; smaller batches run inline on the coordinator via
+// the sequential path. Dispatch changes scheduling, never ordering, so any
+// threshold yields identical results — tests pin it low to force the
+// parallel machinery, and a single-hardware-thread host pins it high
+// because farming work out can only add scheduling latency there.
+var shardDispatchMin = defaultDispatchMin()
+
+// dispatchOff is the sentinel threshold meaning worker dispatch can never
+// trigger. When it is in effect the engine collapses multi-shard configs
+// to the sequential loop outright (see setup): the sharded outer loop
+// would execute the identical global (time, seq) order with batch
+// bookkeeping as pure overhead.
+const dispatchOff = 1 << 30
+
+func defaultDispatchMin() int {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return 16
+	}
+	return dispatchOff
+}
+
+// SetShardDispatchMin overrides the dispatch threshold and returns the
+// previous value — a hook for cross-package invariance tests that must
+// force worker dispatch on hosts where the default disables it. Results
+// are bit-identical at any threshold; this only steers scheduling. Not
+// safe to change while runs are in flight.
+func SetShardDispatchMin(n int) int {
+	old := shardDispatchMin
+	shardDispatchMin = n
+	return old
+}
+
+// shardCounters is the execution counter set kept per shard and merged at
+// batch barriers.
+type shardCounters struct {
+	tokens, swaps, overflows, fired uint64
+}
+
+func (c *shardCounters) add(o *shardCounters) {
+	c.tokens += o.tokens
+	c.swaps += o.swaps
+	c.overflows += o.overflows
+	c.fired += o.fired
+}
+
+// stagedEv is a child event produced while a batch is in flight: pos is the
+// producing batch position, shard the destination queue. Replaying staged
+// children in (position, production order) at the barrier reproduces the
+// sequential engine's push order — and therefore its seq stamps — exactly.
+type stagedEv struct {
+	pos   int32
+	shard int32
+	e     event
+}
+
+// stageBuf collects one producer's staged children, in production order.
+type stageBuf struct {
+	pos int32
+	evs []stagedEv
+}
+
+// shardWorker owns one shard's execution while a batch is dispatched: its
+// clusters' slices of the sim's PE and operand-table arrays, its operand
+// slab, private counters and network stats, an optional metrics-only
+// tracer, and a staging buffer. Everything else it touches on the sim is
+// frozen for the duration of the batch (program, config, caches resolved
+// by the classification pass).
+type shardWorker struct {
+	s      *sim
+	id     int32
+	cnt    shardCounters
+	net    noc.Stats
+	tr     *trace.Tracer
+	stage  stageBuf
+	jobs   []int32
+	err    error
+	errPos int32
+	in     chan []int32
+}
+
+// shardRT is the parallel runtime, kept on the Arena so batch buffers and
+// worker structures recycle across runs. Worker goroutines are started on
+// the first dispatched batch of a run and always stopped before Run
+// returns.
+type shardRT struct {
+	workers []*shardWorker
+	running bool
+	wg      sync.WaitGroup
+	batch   []event
+	seqs    []uint64 // original seq stamps, recorded only for back-dating runs
+	owners  []int32  // batch position -> owning shard, -1 = coordinator
+	cstage  stageBuf
+	cursor  []int
+	batches uint64 // dispatched batches this run (test observability)
+}
+
+// ensureRT readies the runtime for this run's shard count, zeroing every
+// per-run accumulator.
+func (s *sim) ensureRT() *shardRT {
+	rt := s.par
+	if rt == nil {
+		rt = &shardRT{}
+		s.par = rt
+	}
+	for len(rt.workers) < s.nsh {
+		rt.workers = append(rt.workers, &shardWorker{id: int32(len(rt.workers))})
+	}
+	rt.workers = rt.workers[:s.nsh]
+	rt.batches = 0
+	for _, w := range rt.workers {
+		w.s = s
+		w.cnt = shardCounters{}
+		w.net = noc.Stats{}
+		w.err = nil
+		w.stage.evs = w.stage.evs[:0]
+		w.jobs = w.jobs[:0]
+		w.tr = nil
+		if s.tr != nil {
+			// Metrics-only shadow of the run tracer (parallel runs never
+			// have an event stream; see Config.Shards).
+			w.tr = trace.New(trace.Config{})
+		}
+	}
+	return rt
+}
+
+func (rt *shardRT) start() {
+	if rt.running {
+		return
+	}
+	rt.running = true
+	for _, w := range rt.workers {
+		w.in = make(chan []int32, 1)
+		go w.loop()
+	}
+}
+
+func (rt *shardRT) stop() {
+	if !rt.running {
+		return
+	}
+	rt.running = false
+	for _, w := range rt.workers {
+		close(w.in)
+	}
+}
+
+func (w *shardWorker) loop() {
+	for jobs := range w.in {
+		w.run(jobs)
+		w.s.par.wg.Done()
+	}
+}
+
+// run processes this shard's slice of the batch, in batch-position order.
+// On error it records the failing position and stops; the coordinator
+// picks the globally earliest error.
+func (w *shardWorker) run(jobs []int32) {
+	rt := w.s.par
+	for _, p := range jobs {
+		e := &rt.batch[p]
+		w.stage.pos = p
+		var err error
+		if e.kind == evToken {
+			err = w.deliver(e)
+		} else {
+			err = w.fire(e)
+		}
+		if err != nil {
+			w.err, w.errPos = err, p
+			return
+		}
+	}
+}
+
+// deliver lands a shard-local token. The home is guaranteed resolved (the
+// classification pass resolved it), so this never touches the policy.
+func (w *shardWorker) deliver(e *event) error {
+	s := w.s
+	pe := int(s.homes[s.instrBase[e.fn]+int(e.dest.Instr)])
+	fireAt, vals, fire, err := s.deliverAt(e, pe, w.id, &w.cnt, w.tr)
+	if err != nil || !fire {
+		return err
+	}
+	w.stage.evs = append(w.stage.evs, stagedEv{pos: w.stage.pos, shard: w.id,
+		e: event{time: fireAt, kind: evFire, fn: e.fn, dest: e.dest, tag: e.tag, vals: vals}})
+	return nil
+}
+
+// fire executes a shard-local firing: an op from the pure compute subset
+// whose destinations the classification pass proved cluster-local. Sends
+// ride the stateless intra-cluster buses (noc.SendLocal), charging this
+// worker's stats and tracer; fuel is reserved batch-wide by the
+// coordinator, so no budget check happens here.
+func (w *shardWorker) fire(e *event) error {
+	s := w.s
+	w.cnt.fired++
+	fn, id, tag, vals := e.fn, e.dest.Instr, e.tag, e.vals
+	in := &s.prog.Funcs[fn].Instrs[id]
+	pe := int(s.homes[s.instrBase[fn]+int(id)])
+	t := e.time
+	if w.tr != nil {
+		l := s.locs[pe]
+		w.tr.Fire(t, pe, l.Cluster, l.Domain)
+	}
+	var dests []isa.Dest
+	val := vals[0]
+	switch {
+	case in.Op == isa.OpNop:
+		dests = in.Dests
+	case in.Op == isa.OpConst:
+		dests, val = in.Dests, in.Imm
+	case isa.IsALU(in.Op):
+		dests, val = in.Dests, isa.EvalALU(in.Op, vals[0], vals[1])
+	case in.Op == isa.OpSteer:
+		if vals[0] != 0 {
+			dests = in.Dests
+		} else {
+			dests = in.DestsFalse
+		}
+		val = vals[1]
+	case in.Op == isa.OpSelect:
+		dests, val = in.Dests, vals[2]
+		if vals[0] != 0 {
+			val = vals[1]
+		}
+	case in.Op == isa.OpWaveAdvance:
+		dests, tag = in.Dests, tag.Advance()
+	default:
+		// Unreachable: classify only routes the compute subset here.
+		return fmt.Errorf("wavecache: op %v dispatched to shard worker", in.Op)
+	}
+	src := s.locs[pe]
+	for _, d := range dests {
+		dstPE := int(s.homes[s.instrBase[fn]+int(d.Instr)])
+		arr := s.net.SendLocal(src, s.locs[dstPE], t, &w.net, w.tr)
+		w.stage.evs = append(w.stage.evs, stagedEv{pos: w.stage.pos, shard: s.shardFor(dstPE),
+			e: event{time: arr, kind: evToken, fn: fn, dest: d, tag: tag, val: val}})
+	}
+	return nil
+}
+
+// runPar is the parallel engine's outer loop: batch events by timestamp,
+// classify, dispatch, merge.
+func (s *sim) runPar() error {
+	rt := s.ensureRT()
+	defer rt.stop()
+	for {
+		sh := s.minFrontShard()
+		if sh < 0 {
+			return nil
+		}
+		// Cancellation polls once per batch: coarser than the sequential
+		// engine's event-count poll, identical results by the
+		// results-neutrality contract of Config.Cancel.
+		if s.cfg.Cancel != nil {
+			select {
+			case <-s.cfg.Cancel:
+				return s.cancelErr()
+			default:
+			}
+		}
+		t := s.qs[sh].heap[0].time
+		if s.cfg.MaxCycles > 0 && t > s.cfg.MaxCycles {
+			// Mirror the sequential dump state exactly: the tripping event
+			// is popped, the rest of the queue is not.
+			q := &s.qs[sh]
+			q.release(q.pop())
+			return s.watchdogErr(t)
+		}
+		// Collect every event at time t, in global (time, seq) order.
+		// Children pushed while processing land strictly later in that
+		// order, so batch membership is exactly the sequential engine's
+		// consecutive run of time-t pops.
+		rt.batch = rt.batch[:0]
+		rt.seqs = rt.seqs[:0]
+		for {
+			q := &s.qs[sh]
+			if s.backdate {
+				// Keep the original stamps: a truncated batch restores its
+				// unprocessed tail under the same (time, seq) keys.
+				rt.seqs = append(rt.seqs, q.heap[0].seq)
+			}
+			idx := q.pop()
+			rt.batch = append(rt.batch, q.slab[idx])
+			q.release(idx)
+			sh = s.minFrontShard()
+			if sh < 0 || s.qs[sh].heap[0].time != t {
+				break
+			}
+		}
+		if t > s.now {
+			s.now = t
+		}
+		if t > s.maxT {
+			s.maxT = t
+		}
+		if s.backdate {
+			// Arm the preempt trigger: any child pushed earlier than t
+			// while this batch runs must truncate it (see restoreTail).
+			s.batchT = t
+			s.preempt = false
+		}
+		if len(rt.batch) < shardDispatchMin || int64(len(rt.batch)) > s.fuel {
+			// Inline: exactly the sequential engine over this batch. The
+			// fuel guard keeps budget exhaustion on the sequential path
+			// (each event consumes at most one unit), so the failing
+			// instruction is identical at any shard count.
+			for i := range rt.batch {
+				if err := s.processEvent(&rt.batch[i]); err != nil {
+					return err
+				}
+				// A back-dated child (a MemIdeal reply timed from its
+				// firing) pops before the rest of this batch in the
+				// sequential order: restore the unprocessed tail and
+				// re-enter the outer loop so it does here too.
+				if s.preempt && i+1 < len(rt.batch) {
+					s.restoreTail(rt, i+1)
+					break
+				}
+			}
+			continue
+		}
+		if err := s.runBatch(rt); err != nil {
+			return err
+		}
+	}
+}
+
+// minFrontShard returns the shard whose queue front is the global minimum
+// (time, seq), or -1 when every queue is empty.
+func (s *sim) minFrontShard() int32 {
+	best := int32(-1)
+	var bt int64
+	var bs uint64
+	for i := range s.qs {
+		h := s.qs[i].heap
+		if len(h) == 0 {
+			continue
+		}
+		if best < 0 || h[0].time < bt || (h[0].time == bt && h[0].seq < bs) {
+			best, bt, bs = int32(i), h[0].time, h[0].seq
+		}
+	}
+	return best
+}
+
+// runBatch classifies, dispatches, and merges one same-timestamp batch.
+func (s *sim) runBatch(rt *shardRT) error {
+	rt.batches++
+	n := len(rt.batch)
+	rt.owners = rt.owners[:0]
+	rt.cstage.evs = rt.cstage.evs[:0]
+	for _, w := range rt.workers {
+		w.jobs = w.jobs[:0]
+		w.stage.evs = w.stage.evs[:0]
+		w.err = nil
+	}
+
+	// Classification, in batch order: placement resolves here — the exact
+	// order the sequential engine would resolve it — coordinator-owned
+	// events run inline immediately (staging their children), and
+	// shard-local events defer to per-shard job lists.
+	s.stage = &rt.cstage
+	var gerr error
+	gpos := n
+	cut := n
+	for p := 0; p < n; p++ {
+		e := &rt.batch[p]
+		rt.cstage.pos = int32(p)
+		own := s.classify(e)
+		rt.owners = append(rt.owners, own)
+		if own >= 0 {
+			w := rt.workers[own]
+			w.jobs = append(w.jobs, int32(p))
+			continue
+		}
+		if err := s.processEvent(e); err != nil {
+			// Stop classifying: positions past p must not run (their jobs
+			// are never built), matching the sequential abort point —
+			// unless an earlier-position shard job also fails below.
+			gerr, gpos = err, p
+			break
+		}
+		// A back-dated child (a MemIdeal reply timed from its firing)
+		// pops before the rest of this batch in the sequential order:
+		// truncate here, merge the prefix, and restore the tail below.
+		// Shard-local work never back-dates (deliveries and local sends
+		// only add latency), so only coordinator pushes arm preempt.
+		if s.preempt && p+1 < n {
+			cut = p + 1
+			s.preempt = false
+			break
+		}
+	}
+	s.stage = nil
+
+	// Execute shard jobs: in parallel when at least two shards have work,
+	// inline otherwise. Shards touch disjoint state and children are
+	// replayed by position below, so both schedules produce identical
+	// results.
+	active := 0
+	for _, w := range rt.workers {
+		if len(w.jobs) > 0 {
+			active++
+		}
+	}
+	if active >= 2 {
+		rt.start()
+		for _, w := range rt.workers {
+			if len(w.jobs) > 0 {
+				rt.wg.Add(1)
+				w.in <- w.jobs
+			}
+		}
+		rt.wg.Wait()
+	} else if active == 1 {
+		for _, w := range rt.workers {
+			if len(w.jobs) > 0 {
+				w.run(w.jobs)
+			}
+		}
+	}
+
+	// The earliest batch position's error wins — sequential first-error
+	// semantics. Errors discard the run (and all staged work) entirely.
+	err, epos := gerr, gpos
+	for _, w := range rt.workers {
+		if w.err != nil && int(w.errPos) < epos {
+			err, epos = w.err, int(w.errPos)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	// Barrier bookkeeping: fold worker counters (fuel was consumed by
+	// local firings one unit each), then replay staged children in
+	// (position, production order) with fresh global seq stamps.
+	for _, w := range rt.workers {
+		s.fuel -= int64(w.cnt.fired)
+		s.cnt.add(&w.cnt)
+		w.cnt = shardCounters{}
+	}
+	if cap(rt.cursor) < len(rt.workers) {
+		rt.cursor = make([]int, len(rt.workers))
+	}
+	cur := rt.cursor[:len(rt.workers)]
+	for i := range cur {
+		cur[i] = 0
+	}
+	cc := 0
+	for p := 0; p < cut; p++ {
+		if own := rt.owners[p]; own >= 0 {
+			w := rt.workers[own]
+			for cur[own] < len(w.stage.evs) && w.stage.evs[cur[own]].pos == int32(p) {
+				s.pushStaged(&w.stage.evs[cur[own]])
+				cur[own]++
+			}
+		} else {
+			for cc < len(rt.cstage.evs) && rt.cstage.evs[cc].pos == int32(p) {
+				s.pushStaged(&rt.cstage.evs[cc])
+				cc++
+			}
+		}
+	}
+	if cut < n {
+		s.restoreTail(rt, cut)
+	}
+	return nil
+}
+
+// restoreTail returns the unprocessed batch tail [from, len) to the event
+// system under its original (time, seq) keys, so a back-dated child runs
+// before it — exactly the sequential pop order. Queue membership never
+// affects ordering, so the events all board queue 0.
+func (s *sim) restoreTail(rt *shardRT, from int) {
+	q := &s.qs[0]
+	for i := from; i < len(rt.batch); i++ {
+		idx := q.alloc()
+		q.slab[idx] = rt.batch[i]
+		q.push(idx, rt.batch[i].time, rt.seqs[i])
+	}
+}
+
+func (s *sim) pushStaged(st *stagedEv) {
+	q := &s.qs[st.shard]
+	i := q.alloc()
+	q.slab[i] = st.e
+	q.push(i, st.e.time, s.seq)
+	s.seq++
+}
+
+// classify returns the owning shard for a batch event, or -1 for events
+// that must run on the coordinator: memory, ordering, and context
+// operations, cross-cluster firings (mesh link state is shared), and
+// everything else outside the pure compute subset. It resolves placement
+// for exactly the instruction references the sequential engine would
+// resolve processing this event, in the same order — whether or not the
+// event ends up shard-local.
+func (s *sim) classify(e *event) int32 {
+	switch e.kind {
+	case evToken:
+		return s.shardFor(s.homePE(e.fn, e.dest.Instr))
+	case evFire:
+		pe := s.homePE(e.fn, e.dest.Instr)
+		in := &s.prog.Funcs[e.fn].Instrs[e.dest.Instr]
+		var dests []isa.Dest
+		switch {
+		case in.Op == isa.OpNop, in.Op == isa.OpConst, isa.IsALU(in.Op),
+			in.Op == isa.OpSelect, in.Op == isa.OpWaveAdvance:
+			dests = in.Dests
+		case in.Op == isa.OpSteer:
+			// The sequential engine resolves only the taken side's homes.
+			if e.vals[0] != 0 {
+				dests = in.Dests
+			} else {
+				dests = in.DestsFalse
+			}
+		default:
+			return -1
+		}
+		cl := s.locs[pe].Cluster
+		local := true
+		for _, d := range dests {
+			// Resolve every destination even after the first cross-cluster
+			// one: the sequential firing would resolve them all too.
+			if s.locs[s.homePE(e.fn, d.Instr)].Cluster != cl {
+				local = false
+			}
+		}
+		if !local {
+			return -1
+		}
+		return s.shardOf[cl]
+	default: // evMemArrive
+		return -1
+	}
+}

@@ -1,0 +1,293 @@
+package wavecache
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wavescalar/internal/fault"
+	"wavescalar/internal/placement"
+	"wavescalar/internal/testprogs"
+	"wavescalar/internal/trace"
+)
+
+// forceDispatch pins the dispatch threshold to 1 so every multi-event
+// batch exercises the classify/dispatch/merge machinery even on a
+// single-CPU host, restoring the default on cleanup. Any threshold is
+// bit-identical by construction; this just steers coverage.
+func forceDispatch(t *testing.T) {
+	t.Helper()
+	old := shardDispatchMin
+	shardDispatchMin = 1
+	t.Cleanup(func() { shardDispatchMin = old })
+}
+
+// shardRun executes src on a 2x2 machine at the given shard count,
+// returning the result, final memory image, merged metrics, and the
+// arena (for runtime introspection).
+func shardRun(t *testing.T, src string, shards int) (Result, []int64, trace.Metrics, *Arena) {
+	t.Helper()
+	wp := compileSource(t, src)
+	cfg := DefaultConfig(2, 2)
+	cfg.Shards = shards
+	agg := &trace.Aggregate{}
+	cfg.Metrics = agg
+	pol, err := placement.New("dynamic-snake", cfg.Machine, wp, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewArena()
+	res, err := a.Run(wp, pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, a.s.memImage, agg.Snapshot(), a
+}
+
+// TestShardInvariance is the tentpole contract: results, memory images,
+// and metrics aggregates are byte-identical at every shard count, with
+// the dispatch machinery forced on.
+func TestShardInvariance(t *testing.T) {
+	forceDispatch(t)
+	progs := []struct{ name, src string }{
+		{testprogs.Corpus[1].Name, testprogs.Corpus[1].Src},
+		{testprogs.Corpus[21].Name, testprogs.Corpus[21].Src},
+		{testprogs.Heavy[1].Name, testprogs.Heavy[1].Src}, // sort_64
+	}
+	for _, p := range progs {
+		t.Run(p.name, func(t *testing.T) {
+			base, baseMem, baseM, _ := shardRun(t, p.src, 1)
+			for _, n := range []int{2, 3, 4, 64} { // 64 clamps to the 4 clusters
+				res, mem, m, a := shardRun(t, p.src, n)
+				if !reflect.DeepEqual(base, res) {
+					t.Fatalf("shards=%d result diverged:\n%+v\n%+v", n, base, res)
+				}
+				if !reflect.DeepEqual(baseMem, mem) {
+					t.Fatalf("shards=%d memory image diverged", n)
+				}
+				if !reflect.DeepEqual(baseM, m) {
+					t.Fatalf("shards=%d metrics diverged:\n%+v\n%+v", n, baseM, m)
+				}
+				if n >= 2 && (a.s.par == nil || a.s.par.batches == 0) {
+					t.Fatalf("shards=%d never dispatched a batch: the parallel path went untested", n)
+				}
+			}
+		})
+	}
+}
+
+// TestShardMemoryModeInvariance pins every memory mode at every shard
+// count. MemIdeal is the regression here: oracle replies are back-dated
+// (timed from the PE firing, not the issue), and sequentially such a
+// reply preempts the rest of the same-timestamp batch — the engine must
+// truncate the batch and restore the tail, on both the dispatched and
+// the inline path, or cycle counts drift.
+func TestShardMemoryModeInvariance(t *testing.T) {
+	progs := []struct{ name, src string }{
+		{testprogs.Corpus[21].Name, testprogs.Corpus[21].Src}, // memory-heavy
+		{testprogs.Heavy[1].Name, testprogs.Heavy[1].Src},     // sort_64
+	}
+	run := func(t *testing.T, src string, mode MemoryMode, shards int) (Result, []int64) {
+		t.Helper()
+		wp := compileSource(t, src)
+		cfg := DefaultConfig(2, 2)
+		cfg.Shards = shards
+		cfg.MemMode = mode
+		pol, err := placement.New("dynamic-snake", cfg.Machine, wp, 1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := NewArena()
+		res, err := a.Run(wp, pol, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, append([]int64(nil), a.s.memImage...)
+	}
+	for _, dispatch := range []struct {
+		name  string
+		force bool
+	}{{"dispatched", true}, {"inline", false}} {
+		t.Run(dispatch.name, func(t *testing.T) {
+			if dispatch.force {
+				forceDispatch(t)
+			}
+			for _, p := range progs {
+				for _, mode := range []MemoryMode{MemOrdered, MemSerial, MemIdeal} {
+					base, baseMem := run(t, p.src, mode, 1)
+					for _, n := range []int{2, 4} {
+						res, mem := run(t, p.src, mode, n)
+						if !reflect.DeepEqual(base, res) {
+							t.Errorf("%s/%v: shards=%d diverged:\n%+v\n%+v", p.name, mode, n, base, res)
+						}
+						if !reflect.DeepEqual(baseMem, mem) {
+							t.Errorf("%s/%v: shards=%d memory image diverged", p.name, mode, n)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardInvarianceDefaultDispatch covers the production configuration:
+// whatever threshold this host defaults to, results still pin.
+func TestShardInvarianceDefaultDispatch(t *testing.T) {
+	src := testprogs.Heavy[1].Src
+	base, baseMem, baseM, _ := shardRun(t, src, 1)
+	res, mem, m, _ := shardRun(t, src, 4)
+	if !reflect.DeepEqual(base, res) || !reflect.DeepEqual(baseMem, mem) || !reflect.DeepEqual(baseM, m) {
+		t.Fatalf("default-dispatch shards=4 diverged from sequential")
+	}
+}
+
+// TestShardInvarianceUnderFaults: fault-injected runs (pseudo-random
+// streams consume in global event order) pin to the sequential engine, so
+// every shard setting reproduces the same faulty run bit-for-bit —
+// including a mid-run PE kill whose migration crosses the shard boundary
+// (PE 0 lives in shard 0's cluster; survivors span all shards).
+func TestShardInvarianceUnderFaults(t *testing.T) {
+	forceDispatch(t)
+	src := testprogs.Heavy[1].Src
+	scenarios := []fault.Config{
+		{Seed: 11, KillPE: 0, KillCycle: 200},
+		{Seed: 11, DefectRate: 0.1, DropRate: 0.02, DelayRate: 0.02, MemLossRate: 0.02, KillPE: 1, KillCycle: 500},
+	}
+	for _, fc := range scenarios {
+		wp := compileSource(t, src)
+		run := func(shards int) (Result, *Arena) {
+			cfg := DefaultConfig(2, 2)
+			cfg.Shards = shards
+			cfg.Faults = fc
+			cfg.MaxCycles = 20_000_000
+			cfg.Machine.Defective = fault.DefectMap(fc, cfg.Machine.NumPEs())
+			pol, err := placement.New("dynamic-depth-first-snake", cfg.Machine, wp, 1234)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := NewArena()
+			res, err := a.Run(wp, pol, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res, a
+		}
+		base, _ := run(1)
+		for _, n := range []int{2, 4} {
+			res, a := run(n)
+			if !reflect.DeepEqual(base, res) {
+				t.Fatalf("faulty run diverged at shards=%d:\n%+v\n%+v", n, base, res)
+			}
+			if a.s.nsh != 1 {
+				t.Fatalf("fault injection must pin the sequential engine, got nsh=%d", a.s.nsh)
+			}
+		}
+		if base.Faults.PEKills != 1 {
+			t.Fatalf("scenario killed no PE: %+v", base.Faults)
+		}
+	}
+}
+
+// TestShardEventTracerPins: an event-stream tracer consumes the trace in
+// global event order, so it pins sequential and records the identical
+// stream at any shard setting.
+func TestShardEventTracerPins(t *testing.T) {
+	forceDispatch(t)
+	wp := compileSource(t, testprogs.Corpus[1].Src)
+	run := func(shards int) ([]trace.Event, *Arena) {
+		cfg := DefaultConfig(2, 2)
+		cfg.Shards = shards
+		tr := trace.New(trace.Config{Events: true, MaxEvents: 1 << 20})
+		cfg.Tracer = tr
+		a := NewArena()
+		if _, err := a.Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Events(), a
+	}
+	base, _ := run(1)
+	got, a := run(4)
+	if a.s.nsh != 1 {
+		t.Fatalf("event tracer must pin the sequential engine, got nsh=%d", a.s.nsh)
+	}
+	if !reflect.DeepEqual(base, got) {
+		t.Fatalf("event streams diverged across shard settings")
+	}
+}
+
+// TestShardWatchdogDumpIdentical: the watchdog diagnostic must be
+// byte-identical between the sequential and parallel engines — the
+// parallel loop pops exactly the tripping event before dumping, mirroring
+// the sequential abort state.
+func TestShardWatchdogDumpIdentical(t *testing.T) {
+	forceDispatch(t)
+	wp := compileSource(t, testprogs.Heavy[1].Src)
+	run := func(shards int) string {
+		cfg := DefaultConfig(2, 2)
+		cfg.Shards = shards
+		cfg.MaxCycles = 300
+		_, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
+		var fe *fault.FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("want watchdog fault, got %v", err)
+		}
+		return err.Error()
+	}
+	base := run(1)
+	for _, n := range []int{2, 4} {
+		if got := run(n); got != base {
+			t.Fatalf("watchdog dump diverged at shards=%d:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+				n, base, n, got)
+		}
+	}
+	if !strings.Contains(base, "watchdog report") {
+		t.Fatalf("dump missing header:\n%s", base)
+	}
+}
+
+// TestShardFuelExhaustionIdentical: budget exhaustion must fail at the
+// identical instruction at any shard count (oversized batches fall back
+// to the sequential path, so the failing event is exact).
+func TestShardFuelExhaustionIdentical(t *testing.T) {
+	forceDispatch(t)
+	wp := compileSource(t, testprogs.Heavy[1].Src)
+	run := func(shards int) string {
+		cfg := DefaultConfig(2, 2)
+		cfg.Shards = shards
+		cfg.Fuel = 500
+		_, err := Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
+		if err == nil {
+			t.Fatal("fuel 500 should exhaust")
+		}
+		return err.Error()
+	}
+	base := run(1)
+	for _, n := range []int{2, 4} {
+		if got := run(n); got != base {
+			t.Fatalf("fuel error diverged at shards=%d: %q vs %q", n, base, got)
+		}
+	}
+}
+
+// TestShardArenaReuseAcrossShardCounts: one arena must be reusable across
+// runs with different shard counts, each bit-identical to a fresh run.
+func TestShardArenaReuseAcrossShardCounts(t *testing.T) {
+	forceDispatch(t)
+	wp := compileSource(t, testprogs.Heavy[1].Src)
+	a := NewArena()
+	var want Result
+	for i, shards := range []int{1, 4, 2, 1, 4} {
+		cfg := DefaultConfig(2, 2)
+		cfg.Shards = shards
+		res, err := a.Run(wp, mustPol(placement.NewDynamicSnake(cfg.Machine)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = res
+		} else if !reflect.DeepEqual(want, res) {
+			t.Fatalf("arena reuse at shards=%d diverged:\n%+v\n%+v", shards, want, res)
+		}
+	}
+}

@@ -35,6 +35,7 @@ package wavecache
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 
@@ -145,6 +146,19 @@ type Config struct {
 	// is nil). The aggregate is thread-safe, so concurrent experiment
 	// cells may share one.
 	Metrics *trace.Aggregate
+
+	// Shards partitions the machine's clusters into independent event-queue
+	// shards: each shard owns a contiguous cluster range, its PEs' operand
+	// tables, and an operand slab, and batches of same-timestamp
+	// cluster-local events execute on per-shard workers between
+	// coordinator-run barriers. 0 or 1 selects the sequential engine;
+	// values above the cluster count clamp to it. Results are bit-identical
+	// at every setting — sharding changes scheduling, never ordering (see
+	// DESIGN.md §10) — so the knob is purely a performance lever. Runs with
+	// fault injection or an event-stream Tracer consume pseudo-random and
+	// trace streams in global event order and therefore pin to the
+	// sequential engine regardless of Shards.
+	Shards int
 }
 
 // DefaultConfig returns the published WaveScalar processor parameters on a
@@ -199,7 +213,6 @@ const (
 
 type event struct {
 	time int64
-	seq  uint64
 	kind evKind
 
 	// evToken / evFire payload.
@@ -213,36 +226,102 @@ type event struct {
 	req *waveorder.Request
 }
 
+// heapEnt is one heap slot: the ordering key (time, seq) is stored inline
+// so comparisons never load the event slab — sift paths touch only the
+// contiguous heap array instead of chasing indices into cold slab records.
+type heapEnt struct {
+	time int64
+	seq  uint64
+	idx  int32
+}
+
+func entLess(a, b heapEnt) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
 // eventQueue is a pooled priority queue: events live in a slab addressed by
 // index (recycled through a freelist when delivered), and a 4-ary min-heap
-// of indices orders them by (time, seq). Compared to container/heap this
+// of inline (time, seq) keys orders them. Compared to container/heap this
 // drops the per-push interface boxing and per-event allocation, and the
 // wider fan-out halves sift-down depth on the simulator's deep queues.
-// (time, seq) is a strict total order — seq is unique — so ANY correct heap
-// yields the same pop sequence; swapping heap implementations cannot change
-// results.
+// The tiebreak seq comes from the run-wide counter (sim.seq), shared by
+// every shard's queue, so (time, seq) is a strict total order across the
+// whole run; ANY correct heap — and any assignment of events to shard
+// queues — yields the same global pop sequence.
 type eventQueue struct {
 	slab []event
 	free []int32
-	heap []int32
-	seq  uint64
+	heap []heapEnt
+
+	// Calendar-wheel mode (sequential engine only, never under MemIdeal):
+	// near-future events land in a ring of per-cycle FIFO buckets and the
+	// heap holds only the far-future overflow, making push and pop O(1).
+	// Exactness argument: the run-wide seq stamp is monotone in push
+	// order, so a bucket's FIFO *is* its (time, seq) order; and an
+	// overflow event was pushed before the window covered its cycle —
+	// i.e. before every direct push to that cycle's bucket — so draining
+	// the heap first at each cycle, then the bucket, replays the heap
+	// engine's pop sequence byte for byte. MemIdeal is excluded because
+	// its oracle replies are the one push that can be back-dated below
+	// the drain cursor.
+	wheel   bool
+	cur     int64     // drain cursor: the cycle currently being popped
+	n       int       // events resident in buckets
+	bhead   int       // consumed prefix of the current bucket
+	buckets [][]int32 // ring of slab-index FIFOs, slot = cycle & wheelMask
+	bmap    []uint64  // non-empty bitmap over the ring
 }
+
+// wheelSize is the ring span in cycles: network hops, penalties, and cache
+// misses almost always land within it, so overflow pushes are rare (and
+// still exact when they happen).
+const (
+	wheelBits = 12
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
 
 func (q *eventQueue) reset() {
 	q.slab = q.slab[:0]
 	q.free = q.free[:0]
 	q.heap = q.heap[:0]
-	q.seq = 0
+	if q.n != 0 || q.cur != 0 || q.bhead != 0 {
+		for w, word := range q.bmap {
+			for word != 0 {
+				s := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				q.buckets[s] = q.buckets[s][:0]
+			}
+			q.bmap[w] = 0
+		}
+		q.n, q.cur, q.bhead = 0, 0, 0
+	}
 }
 
-func (q *eventQueue) len() int { return len(q.heap) }
+// setWheel selects the queue implementation for this run; the ring is
+// allocated once and reused across runs.
+func (q *eventQueue) setWheel(on bool) {
+	q.wheel = on
+	if on && q.buckets == nil {
+		q.buckets = make([][]int32, wheelSize)
+		q.bmap = make([]uint64, wheelSize/64)
+	}
+}
 
-// alloc returns the index of a zeroed event record.
+func (q *eventQueue) len() int { return len(q.heap) + q.n }
+
+// alloc returns the index of an event record. Recycled records are NOT
+// zeroed: every push site stamps all the fields its event kind reads
+// (evToken never reads vals/req, evFire never reads val/req, evMemArrive
+// reads only req), so stale bytes from a prior tenant are never observed
+// and the hot path skips a per-event memclr.
 func (q *eventQueue) alloc() int32 {
 	if n := len(q.free); n > 0 {
 		i := q.free[n-1]
 		q.free = q.free[:n-1]
-		q.slab[i] = event{}
 		return i
 	}
 	q.slab = append(q.slab, event{})
@@ -252,38 +331,113 @@ func (q *eventQueue) alloc() int32 {
 // release recycles a delivered event's slab index.
 func (q *eventQueue) release(i int32) { q.free = append(q.free, i) }
 
-func (q *eventQueue) less(a, b int32) bool {
-	ea, eb := &q.slab[a], &q.slab[b]
-	if ea.time != eb.time {
-		return ea.time < eb.time
+// push enqueues slab index i under the key (t, seq); the caller stamps seq
+// from the run-wide counter. In wheel mode events within the ring window
+// append to their cycle's FIFO; everything else (far future, plus the
+// defensively-handled past) rides the heap.
+func (q *eventQueue) push(i int32, t int64, seq uint64) {
+	if q.wheel {
+		if d := t - q.cur; d >= 0 && d < wheelSize {
+			s := int(t) & wheelMask
+			b := q.buckets[s]
+			if len(b) == 0 {
+				q.bmap[s>>6] |= 1 << (uint(s) & 63)
+			}
+			q.buckets[s] = append(b, i)
+			q.n++
+			return
+		}
 	}
-	return ea.seq < eb.seq
+	q.heapPush(i, t, seq)
 }
 
-// push stamps the event's tiebreak sequence and sifts it into the heap.
-func (q *eventQueue) push(i int32) {
-	q.slab[i].seq = q.seq
-	q.seq++
-	q.heap = append(q.heap, i)
-	c := len(q.heap) - 1
+// heapPush sifts slab index i into the heap under the key (t, seq).
+func (q *eventQueue) heapPush(i int32, t int64, seq uint64) {
+	e := heapEnt{time: t, seq: seq, idx: i}
+	h := append(q.heap, e)
+	q.heap = h
+	c := len(h) - 1
 	for c > 0 {
 		p := (c - 1) / 4
-		if !q.less(q.heap[c], q.heap[p]) {
+		if !entLess(e, h[p]) {
 			break
 		}
-		q.heap[c], q.heap[p] = q.heap[p], q.heap[c]
+		h[c] = h[p]
 		c = p
 	}
+	h[c] = e
 }
 
 // pop removes and returns the minimum event's slab index. The caller must
-// copy the event out before the next alloc (growth may move the slab) and
-// release the index when done.
+// ensure the queue is non-empty, copy the event out before the next alloc
+// (growth may move the slab), and release the index when done.
 func (q *eventQueue) pop() int32 {
-	top := q.heap[0]
+	if q.wheel {
+		return q.wheelPop()
+	}
+	return q.heapPop()
+}
+
+// wheelPop drains the wheel in exact (time, seq) order: at each cycle,
+// overflow-heap entries first (they were pushed before any of the cycle's
+// direct bucket entries, so their seq stamps are strictly smaller), then
+// the bucket FIFO; when the cycle is dry the cursor jumps straight to the
+// next non-empty bucket or the heap's front time, whichever is earlier.
+func (q *eventQueue) wheelPop() int32 {
+	for {
+		if len(q.heap) > 0 && q.heap[0].time <= q.cur {
+			return q.heapPop()
+		}
+		s := int(q.cur) & wheelMask
+		b := q.buckets[s]
+		if q.bhead < len(b) {
+			idx := b[q.bhead]
+			q.bhead++
+			q.n--
+			return idx
+		}
+		// Cycle exhausted: retire the bucket and advance the cursor.
+		q.buckets[s] = b[:0]
+		q.bmap[s>>6] &^= 1 << (uint(s) & 63)
+		q.bhead = 0
+		nt := int64(-1)
+		if d := q.nextBucketDelta(); d > 0 {
+			nt = q.cur + int64(d)
+		}
+		if len(q.heap) > 0 && (nt < 0 || q.heap[0].time < nt) {
+			nt = q.heap[0].time
+		}
+		q.cur = nt
+	}
+}
+
+// nextBucketDelta scans the non-empty bitmap for the ring distance
+// (1..wheelSize-1) from the cursor's slot to the nearest occupied bucket
+// strictly after it, or -1 when the ring is empty. The cursor's own slot
+// is always cleared before the scan, so a full wrap terminates.
+func (q *eventQueue) nextBucketDelta() int {
+	cs := int(q.cur) & wheelMask
+	for d := 1; d < wheelSize; {
+		s := (cs + d) & wheelMask
+		word := q.bmap[s>>6] >> (uint(s) & 63)
+		if word != 0 {
+			return d + bits.TrailingZeros64(word)
+		}
+		d += 64 - int(uint(s)&63)
+	}
+	return -1
+}
+
+// heapPop removes and returns the heap minimum's slab index.
+func (q *eventQueue) heapPop() int32 {
+	top := q.heap[0].idx
 	n := len(q.heap) - 1
-	q.heap[0] = q.heap[n]
-	q.heap = q.heap[:n]
+	hole := q.heap[n]
+	h := q.heap[:n]
+	q.heap = h
+	if n == 0 {
+		return top
+	}
 	i := 0
 	for {
 		first := 4*i + 1
@@ -291,21 +445,23 @@ func (q *eventQueue) pop() int32 {
 			break
 		}
 		m := first
+		me := h[first]
 		last := first + 4
 		if last > n {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if q.less(q.heap[c], q.heap[m]) {
-				m = c
+			if entLess(h[c], me) {
+				m, me = c, h[c]
 			}
 		}
-		if !q.less(q.heap[m], q.heap[i]) {
+		if !entLess(me, hole) {
 			break
 		}
-		q.heap[i], q.heap[m] = q.heap[m], q.heap[i]
+		h[i] = me
 		i = m
 	}
+	h[i] = hole
 	return top
 }
 
@@ -316,15 +472,90 @@ type operands struct {
 }
 
 // peState is one processing element. The residency set maps packed
-// instruction refs (instrKey) to LRU ticks; ticks are unique per PE, so the
-// LRU victim scan has a unique minimum and its result cannot depend on
-// visit order.
+// instruction refs (instrKey) to nodes of an intrusive recency list, so
+// both the hit path (move to front) and the eviction victim (the tail)
+// are O(1); recency order is total, so the victim cannot depend on any
+// iteration order.
 type peState struct {
 	free     int64 // next cycle the ALU can fire
 	resident tagtable.Table
-	lruTick  uint64
+	lru      peLRU
 	waiting  int // tokens delivered but not yet consumed by a firing
 	used     bool
+}
+
+// peLRU is the doubly-linked recency list over one PE's resident
+// instructions: most recently fired at head, eviction victim at tail.
+// Nodes live in a reusable slab with an intrusive free list (next doubles
+// as the free link), keeping the steady state allocation-free.
+type peLRU struct {
+	nodes []lruNode
+	head  int32
+	tail  int32
+	free  int32
+}
+
+type lruNode struct {
+	key  uint64
+	prev int32
+	next int32
+}
+
+func (l *peLRU) reset() {
+	l.nodes = l.nodes[:0]
+	l.head, l.tail, l.free = -1, -1, -1
+}
+
+// touch moves node i to the head.
+func (l *peLRU) touch(i int32) {
+	if l.head == i {
+		return
+	}
+	n := &l.nodes[i]
+	l.nodes[n.prev].next = n.next
+	if n.next >= 0 {
+		l.nodes[n.next].prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = -1, l.head
+	l.nodes[l.head].prev = i
+	l.head = i
+}
+
+// push inserts a new head node and returns its index.
+func (l *peLRU) push(key uint64) int32 {
+	i := l.free
+	if i >= 0 {
+		l.free = l.nodes[i].next
+	} else {
+		l.nodes = append(l.nodes, lruNode{})
+		i = int32(len(l.nodes) - 1)
+	}
+	l.nodes[i] = lruNode{key: key, prev: -1, next: l.head}
+	if l.head >= 0 {
+		l.nodes[l.head].prev = i
+	} else {
+		l.tail = i
+	}
+	l.head = i
+	return i
+}
+
+// popTail unlinks the least recently used node and returns its key.
+func (l *peLRU) popTail() uint64 {
+	i := l.tail
+	n := &l.nodes[i]
+	l.tail = n.prev
+	if l.tail >= 0 {
+		l.nodes[l.tail].next = -1
+	} else {
+		l.head = -1
+	}
+	key := n.key
+	n.next = l.free
+	l.free = i
+	return key
 }
 
 type ctxInfo struct {
@@ -362,14 +593,47 @@ type sim struct {
 	engine *waveorder.Engine
 	clock  func() int64 // stable closure handed to the engine's tracer
 
-	q    eventQueue
+	// The sharded event system: one queue per shard, all ordered by the
+	// run-wide (time, seq) key, so the global pop order — and therefore
+	// every result — is independent of how events are distributed across
+	// queues. nsh == 1 is the sequential engine. shardOf is a contiguous
+	// partition of clusters.
+	qs      []eventQueue
+	seq     uint64
+	nsh     int
+	shardOf []int32 // cluster -> shard
+	// backdate marks configurations whose memory path can schedule an
+	// event earlier than the timestamp being processed (MemIdeal replies
+	// are timed from the PE firing, not the issue). The parallel engine
+	// must then guard every batch: a back-dated child preempts the rest
+	// of the batch in sequential pop order (see runPar's truncation).
+	// While such a batch is in flight, batchT holds its timestamp and the
+	// push paths raise preempt on any earlier child — one compare per
+	// push, nothing on the common path.
+	backdate bool
+	preempt  bool
+	batchT   int64
+
 	now  int64
 	maxT int64
 
+	// homes caches placement: global instruction index -> home PE, -1
+	// unresolved. Entries fill lazily through the policy — preserving the
+	// dynamic policies' first-reference packing order exactly — and are
+	// wiped wholesale on a mid-run PE death so survivors re-resolve
+	// against the policy's (unchanged) memo and migrants re-place in
+	// first-reference-after-death order, just as the uncached lookup did.
+	// locs caches Machine.Loc, which is a pure function of the geometry.
+	homes []int32
+	locs  []noc.Loc
+
 	// opstore is the per-static-instruction operand-matching table: packed
-	// tag -> opSlab index of the partially assembled tuple.
-	opstore   []tagtable.Table
-	opSlab    tagtable.Slab[operands]
+	// tag -> packed (shard, slab index) of the partially assembled tuple.
+	opstore []tagtable.Table
+	// opSlabs is the per-shard operand slab; handles carry their shard
+	// (packOp) so an entry outlives a mid-run migration to another shard's
+	// clusters.
+	opSlabs   []tagtable.Slab[operands]
 	instrBase []int
 	pes       []peState
 	bufBusy   []bufState // per-cluster store-buffer issue bandwidth
@@ -405,7 +669,19 @@ type sim struct {
 	// nil-safe call or guarded so the disabled path costs one branch).
 	tr *trace.Tracer
 
+	// cnt is the run's live execution counters. The sequential engine and
+	// the coordinator update it directly; shard workers count privately
+	// and merge at each batch barrier, so it is current whenever a
+	// diagnostic or cancellation message reads it.
+	cnt shardCounters
 	res Result
+
+	// par is the parallel batch runtime (shard.go); nil until a run with
+	// nsh > 1 needs it. stage, while a dispatched batch is in flight,
+	// redirects the coordinator's event pushes into the staging buffer so
+	// children merge in deterministic (position, production) order.
+	par   *shardRT
+	stage *stageBuf
 }
 
 // Arena is a reusable simulator: it owns the complete mutable memory image
@@ -494,20 +770,81 @@ func (s *sim) reset(p *isa.Program, pol placement.Policy, cfg Config) error {
 	s.prog, s.pol, s.cfg = p, pol, cfg
 	s.memImage = p.FillMemory(s.memImage)
 
-	s.q.reset()
+	// Shard count: clamp to the cluster grid; fault injection and
+	// event-stream tracing consume their streams in global event order, so
+	// those runs pin to the sequential engine (results are identical
+	// either way — sharding never alters them).
+	nc := cfg.Machine.NumClusters()
+	nsh := cfg.Shards
+	if nsh > nc {
+		nsh = nc
+	}
+	if nsh < 1 || cfg.Faults.Enabled() || cfg.Tracer != nil {
+		nsh = 1
+	}
+	if shardDispatchMin >= dispatchOff {
+		// Worker dispatch can never trigger (single-hardware-thread host):
+		// the sharded loop would replay the identical global (time, seq)
+		// order with batch bookkeeping as pure overhead, so collapse to
+		// the sequential engine. Shard-count invariance is still enforced
+		// with dispatch forced on (SetShardDispatchMin / forceDispatch).
+		nsh = 1
+	}
+	s.nsh = nsh
+	s.backdate = cfg.MemMode == MemIdeal
+	s.preempt = false
+	s.batchT = math.MinInt64
+	if nsh <= cap(s.qs) {
+		s.qs = s.qs[:nsh]
+	} else {
+		grown := make([]eventQueue, nsh)
+		copy(grown, s.qs[:cap(s.qs)])
+		s.qs = grown
+	}
+	for i := range s.qs {
+		s.qs[i].reset()
+		s.qs[i].setWheel(false)
+	}
+	// The sequential engine drains its single queue through the calendar
+	// wheel: O(1) push/pop with the heap's exact (time, seq) pop order
+	// (see eventQueue). MemIdeal stays on the heap — its oracle replies
+	// are the one push that can land behind the drain cursor.
+	if nsh == 1 && !s.backdate {
+		s.qs[0].setWheel(true)
+	}
+	if nsh <= cap(s.opSlabs) {
+		s.opSlabs = s.opSlabs[:nsh]
+	} else {
+		grown := make([]tagtable.Slab[operands], nsh)
+		copy(grown, s.opSlabs[:cap(s.opSlabs)])
+		s.opSlabs = grown
+	}
+	for i := range s.opSlabs {
+		s.opSlabs[i].Reset()
+	}
+	if nc <= cap(s.shardOf) {
+		s.shardOf = s.shardOf[:nc]
+	} else {
+		s.shardOf = make([]int32, nc)
+	}
+	for c := 0; c < nc; c++ {
+		s.shardOf[c] = int32(c * nsh / nc)
+	}
+
+	s.seq = 0
 	s.now, s.maxT = 0, 0
 	s.serialEnd = 0
 	s.nextCtx = 1
 	s.fuel = cfg.Fuel
 	s.done, s.result = false, 0
 	s.inj, s.killed, s.memErr = nil, false, nil
+	s.cnt = shardCounters{}
 	s.res = Result{}
 
 	s.ctxTab.Reset()
 	s.ctxSlab.Reset()
 	s.waveBuf.Reset()
 	s.ckSlab.Reset()
-	s.opSlab.Reset()
 
 	s.tr = cfg.Tracer
 	if s.tr == nil && cfg.Metrics != nil {
@@ -551,7 +888,23 @@ func (s *sim) reset(p *isa.Program, pol placement.Policy, cfg Config) error {
 	for i := range s.opstore {
 		s.opstore[i].Reset()
 	}
+	if total <= cap(s.homes) {
+		s.homes = s.homes[:total]
+	} else {
+		s.homes = make([]int32, total)
+	}
+	for i := range s.homes {
+		s.homes[i] = -1
+	}
 	npe := cfg.Machine.NumPEs()
+	if npe <= cap(s.locs) {
+		s.locs = s.locs[:npe]
+	} else {
+		s.locs = make([]noc.Loc, npe)
+	}
+	for i := range s.locs {
+		s.locs[i] = cfg.Machine.Loc(i)
+	}
 	if npe <= cap(s.pes) {
 		s.pes = s.pes[:npe]
 	} else {
@@ -559,10 +912,10 @@ func (s *sim) reset(p *isa.Program, pol placement.Policy, cfg Config) error {
 	}
 	for i := range s.pes {
 		ps := &s.pes[i]
-		ps.free, ps.lruTick, ps.waiting, ps.used = 0, 0, 0, false
+		ps.free, ps.waiting, ps.used = 0, 0, false
 		ps.resident.Reset()
+		ps.lru.reset()
 	}
-	nc := cfg.Machine.NumClusters()
 	if nc <= cap(s.bufBusy) {
 		s.bufBusy = s.bufBusy[:nc]
 		clear(s.bufBusy)
@@ -593,69 +946,25 @@ func (s *sim) allocReq() *waveorder.Request {
 }
 
 func (s *sim) run() (Result, error) {
-	// Boot: context 0 trigger lands on the entry function's pad 0.
+	// Boot: context 0 trigger lands on the entry function's pad 0. The
+	// entry's home is not resolved yet, so the token boards queue 0; queue
+	// membership never affects ordering (the (time, seq) key is global).
 	mi := s.ctxSlab.Alloc()
 	*s.ctxSlab.At(mi) = ctxInfo{callerFunc: isa.NoFunc, retPad: isa.NoInstr}
 	s.ctxTab.Put(0, int64(mi))
 	entry := s.prog.Entry
-	s.pushToken(0, entry,
+	s.pushToken(0, 0, entry,
 		isa.Dest{Instr: s.prog.Funcs[entry].Params[0], Port: 0},
 		isa.Tag{Ctx: 0, Wave: 0}, 0)
 
-	// Cancellation poll state: checking a channel per event would slow the
-	// hot path, so the loop looks at Cancel once every cancelPollInterval
-	// events — a few microseconds of cancellation latency, zero cost when
-	// Cancel is nil.
-	cancelLeft := cancelPollInterval
-	for s.q.len() > 0 {
-		if s.cfg.Cancel != nil {
-			cancelLeft--
-			if cancelLeft <= 0 {
-				cancelLeft = cancelPollInterval
-				select {
-				case <-s.cfg.Cancel:
-					return Result{}, &fault.FaultError{Kind: fault.KindCancelled, PE: -1, Cycle: s.now,
-						Detail: fmt.Sprintf("run cancelled by caller (t=%d, %d events queued, %d instructions fired)",
-							s.now, s.q.len(), s.res.Fired)}
-				default:
-				}
-			}
-		}
-		idx := s.q.pop()
-		// Copy the event out before releasing: processing it pushes new
-		// events, and slab growth would move the storage under a pointer.
-		e := s.q.slab[idx]
-		s.q.release(idx)
-		if !s.killed && s.cfg.Faults.KillCycle > 0 && e.time >= s.cfg.Faults.KillCycle {
-			if err := s.killPE(); err != nil {
-				return Result{}, err
-			}
-		}
-		if s.cfg.MaxCycles > 0 && e.time > s.cfg.MaxCycles {
-			return Result{}, &fault.FaultError{Kind: fault.KindWatchdog, PE: -1, Cycle: e.time,
-				Detail: fmt.Sprintf("no completion within %d cycles\n%s", s.cfg.MaxCycles, s.diagnose())}
-		}
-		if e.time > s.now {
-			s.now = e.time
-		}
-		if e.time > s.maxT {
-			s.maxT = e.time
-		}
-		var err error
-		switch e.kind {
-		case evToken:
-			err = s.deliver(&e)
-		case evFire:
-			err = s.fire(&e)
-		case evMemArrive:
-			err = s.engine.Submit(e.req)
-			if err == nil {
-				err = s.memErr
-			}
-		}
-		if err != nil {
-			return Result{}, err
-		}
+	var err error
+	if s.nsh > 1 {
+		err = s.runPar()
+	} else {
+		err = s.runSeq()
+	}
+	if err != nil {
+		return Result{}, err
 	}
 	if !s.done {
 		return Result{}, &fault.FaultError{Kind: fault.KindWatchdog, PE: -1, Cycle: s.maxT,
@@ -663,6 +972,10 @@ func (s *sim) run() (Result, error) {
 	}
 
 	s.res.Value = s.result
+	s.res.Fired = s.cnt.fired
+	s.res.Tokens = s.cnt.tokens
+	s.res.Swaps = s.cnt.swaps
+	s.res.Overflows = s.cnt.overflows
 	s.res.Cycles = s.maxT + 1
 	if s.res.Cycles > 0 {
 		s.res.IPC = float64(s.res.Fired) / float64(s.res.Cycles)
@@ -670,6 +983,15 @@ func (s *sim) run() (Result, error) {
 	s.res.Net = s.net.Stats()
 	s.res.Mem = s.memsys.Stats()
 	s.res.Order = s.engine.Stats()
+	if s.nsh > 1 && s.par != nil {
+		// Fold the shard workers' network stats and metrics-only tracers
+		// into the run's; every merge is a commutative sum or max, so the
+		// folded result is invariant to shard count and merge order.
+		for _, w := range s.par.workers {
+			s.res.Net.Add(w.net)
+			s.tr.Merge(w.tr)
+		}
+	}
 	if s.inj != nil {
 		st := s.inj.Stats()
 		s.res.Faults.MemDrops = st.MemDrops
@@ -687,51 +1009,207 @@ func (s *sim) run() (Result, error) {
 	return s.res, nil
 }
 
-func (s *sim) pushToken(t int64, fn isa.FuncID, d isa.Dest, tag isa.Tag, val int64) {
-	i := s.q.alloc()
-	e := &s.q.slab[i]
+// runSeq is the sequential engine: one queue, events processed strictly in
+// (time, seq) order.
+func (s *sim) runSeq() error {
+	// Cancellation poll state: checking a channel per event would slow the
+	// hot path, so the loop looks at Cancel once every cancelPollInterval
+	// events — a few microseconds of cancellation latency, zero cost when
+	// Cancel is nil.
+	cancelLeft := cancelPollInterval
+	cancel := s.cfg.Cancel
+	maxCycles := s.cfg.MaxCycles
+	killAt := s.cfg.Faults.KillCycle
+	q := &s.qs[0]
+	for q.len() > 0 {
+		if cancel != nil {
+			cancelLeft--
+			if cancelLeft <= 0 {
+				cancelLeft = cancelPollInterval
+				select {
+				case <-cancel:
+					return s.cancelErr()
+				default:
+				}
+			}
+		}
+		idx := q.pop()
+		// Copy the event out before releasing: processing it pushes new
+		// events, and slab growth would move the storage under a pointer.
+		e := q.slab[idx]
+		q.release(idx)
+		if killAt > 0 && !s.killed && e.time >= killAt {
+			if err := s.killPE(); err != nil {
+				return err
+			}
+		}
+		if maxCycles > 0 && e.time > maxCycles {
+			return s.watchdogErr(e.time)
+		}
+		if e.time > s.now {
+			s.now = e.time
+		}
+		if e.time > s.maxT {
+			s.maxT = e.time
+		}
+		if err := s.processEvent(&e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// processEvent executes one event on the coordinator with direct pushes:
+// the sequential engine's dispatch, also used by the parallel engine for
+// coordinator-owned events and for batches too small to farm out.
+func (s *sim) processEvent(e *event) error {
+	switch e.kind {
+	case evToken:
+		pe := s.homePE(e.fn, e.dest.Instr)
+		sh := s.shardFor(pe)
+		fireAt, vals, fire, err := s.deliverAt(e, pe, sh, &s.cnt, s.tr)
+		if err != nil || !fire {
+			return err
+		}
+		s.pushFire(sh, fireAt, e.fn, e.dest, e.tag, vals)
+		return nil
+	case evFire:
+		return s.fire(e)
+	default: // evMemArrive
+		if err := s.engine.Submit(e.req); err != nil {
+			return err
+		}
+		return s.memErr
+	}
+}
+
+func (s *sim) cancelErr() error {
+	return &fault.FaultError{Kind: fault.KindCancelled, PE: -1, Cycle: s.now,
+		Detail: fmt.Sprintf("run cancelled by caller (t=%d, %d events queued, %d instructions fired)",
+			s.now, s.qlen(), s.cnt.fired)}
+}
+
+func (s *sim) watchdogErr(t int64) error {
+	return &fault.FaultError{Kind: fault.KindWatchdog, PE: -1, Cycle: t,
+		Detail: fmt.Sprintf("no completion within %d cycles\n%s", s.cfg.MaxCycles, s.diagnose())}
+}
+
+// qlen is the total number of queued events across every shard.
+func (s *sim) qlen() int {
+	n := 0
+	for i := range s.qs {
+		n += s.qs[i].len()
+	}
+	return n
+}
+
+func (s *sim) pushToken(sh int32, t int64, fn isa.FuncID, d isa.Dest, tag isa.Tag, val int64) {
+	if s.backdate && t < s.batchT {
+		s.preempt = true
+	}
+	if st := s.stage; st != nil {
+		st.evs = append(st.evs, stagedEv{pos: st.pos, shard: sh,
+			e: event{time: t, kind: evToken, fn: fn, dest: d, tag: tag, val: val}})
+		return
+	}
+	q := &s.qs[sh]
+	i := q.alloc()
+	e := &q.slab[i]
 	e.time, e.kind, e.fn, e.dest, e.tag, e.val = t, evToken, fn, d, tag, val
-	s.q.push(i)
+	q.push(i, t, s.seq)
+	s.seq++
 }
 
-func (s *sim) pushFire(t int64, fn isa.FuncID, d isa.Dest, tag isa.Tag, vals [3]int64) {
-	i := s.q.alloc()
-	e := &s.q.slab[i]
+func (s *sim) pushFire(sh int32, t int64, fn isa.FuncID, d isa.Dest, tag isa.Tag, vals [3]int64) {
+	if s.backdate && t < s.batchT {
+		s.preempt = true
+	}
+	if st := s.stage; st != nil {
+		st.evs = append(st.evs, stagedEv{pos: st.pos, shard: sh,
+			e: event{time: t, kind: evFire, fn: fn, dest: d, tag: tag, vals: vals}})
+		return
+	}
+	q := &s.qs[sh]
+	i := q.alloc()
+	e := &q.slab[i]
 	e.time, e.kind, e.fn, e.dest, e.tag, e.vals = t, evFire, fn, d, tag, vals
-	s.q.push(i)
+	q.push(i, t, s.seq)
+	s.seq++
 }
 
-func (s *sim) pushMem(t int64, req *waveorder.Request) {
-	i := s.q.alloc()
-	e := &s.q.slab[i]
+func (s *sim) pushMem(sh int32, t int64, req *waveorder.Request) {
+	if s.backdate && t < s.batchT {
+		s.preempt = true
+	}
+	if st := s.stage; st != nil {
+		st.evs = append(st.evs, stagedEv{pos: st.pos, shard: sh,
+			e: event{time: t, kind: evMemArrive, req: req}})
+		return
+	}
+	q := &s.qs[sh]
+	i := q.alloc()
+	e := &q.slab[i]
 	e.time, e.kind, e.req = t, evMemArrive, req
-	s.q.push(i)
+	q.push(i, t, s.seq)
+	s.seq++
 }
 
+// homePE resolves an instruction's home through the dense cache, falling
+// back to the placement policy on first reference. Repeat policy lookups
+// are pure memo reads for every shipped policy, so caching them preserves
+// results exactly while skipping the map probe on the hot path.
 func (s *sim) homePE(fn isa.FuncID, id isa.InstrID) int {
-	return s.pol.Assign(profile.InstrRef{Func: fn, Instr: id})
+	gi := s.instrBase[fn] + int(id)
+	if pe := s.homes[gi]; pe >= 0 {
+		return int(pe)
+	}
+	pe := s.pol.Assign(profile.InstrRef{Func: fn, Instr: id})
+	s.homes[gi] = int32(pe)
+	return pe
 }
 
-func (s *sim) loc(pe int) noc.Loc { return s.cfg.Machine.Loc(pe) }
+func (s *sim) loc(pe int) noc.Loc { return s.locs[pe] }
 
-// deliver lands a token at its destination PE, applying queue-overflow
-// penalties, tag matching, instruction-store residency, and PE firing
-// bandwidth; a complete operand tuple schedules an evFire.
-func (s *sim) deliver(e *event) error {
-	s.res.Tokens++
-	pe := s.homePE(e.fn, e.dest.Instr)
+// shardFor maps a PE to the shard owning its cluster's events. With one
+// shard every cluster maps to shard 0, so the two dependent loads
+// (location, then cluster->shard) are skipped on the sequential engine's
+// hot path.
+func (s *sim) shardFor(pe int) int32 {
+	if s.nsh == 1 {
+		return 0
+	}
+	return s.shardOf[s.locs[pe].Cluster]
+}
+
+// Operand-slab handles pack (shard, index) so an entry can be resolved and
+// released after a mid-run PE death migrates its instruction to a cluster
+// another shard's slab serves. With one shard the handle is just the index.
+func packOp(sh int32, idx int32) int64 { return int64(sh)<<32 | int64(uint32(idx)) }
+func opShard(oi int64) int32           { return int32(oi >> 32) }
+func opIndex(oi int64) int32           { return int32(uint32(oi)) }
+
+// deliverAt lands a token at its (already resolved) destination PE,
+// applying queue-overflow penalties, tag matching, instruction-store
+// residency, and PE firing bandwidth. New operand tuples allocate from
+// shard sh's slab; counters and trace emissions charge to cnt and tr, so
+// a shard worker can run deliveries for its own clusters concurrently
+// with the coordinator — everything touched is either PE-local state or
+// the caller's private sink. A complete tuple returns fire=true with its
+// scheduled cycle; the caller pushes (or stages) the evFire.
+func (s *sim) deliverAt(e *event, pe int, sh int32, cnt *shardCounters, tr *trace.Tracer) (int64, [3]int64, bool, error) {
+	cnt.tokens++
 	ps := &s.pes[pe]
 	ps.used = true
 
 	t := e.time
 	if ps.waiting >= s.cfg.InputQueue {
 		// Matching-table overflow spills to memory.
-		s.res.Overflows++
+		cnt.overflows++
 		t += s.cfg.OverflowPenalty
-		s.tr.Overflow(e.time, pe)
+		tr.Overflow(e.time, pe)
 	}
 	ps.waiting++
-	s.tr.Token(e.time, pe, ps.waiting)
+	tr.Token(e.time, pe, ps.waiting)
 
 	gi := s.instrBase[e.fn] + int(e.dest.Instr)
 	in := &s.prog.Funcs[e.fn].Instrs[e.dest.Instr]
@@ -739,51 +1217,44 @@ func (s *sim) deliver(e *event) error {
 	key := tagKey(e.tag)
 	oi, ok := tbl.Get(key)
 	if !ok {
-		oi = int64(s.opSlab.Alloc())
-		ops := s.opSlab.At(int32(oi))
+		oi = packOp(sh, s.opSlabs[sh].Alloc())
+		ops := s.opSlabs[sh].At(opIndex(oi))
 		ops.have, ops.vals = in.ImmMask, in.ImmVals
 		tbl.Put(key, oi)
 	}
-	ops := s.opSlab.At(int32(oi))
+	// Decode the stored handle rather than assuming sh: a tuple started
+	// before a PE death may live in the old home's shard slab.
+	ops := s.opSlabs[opShard(oi)].At(opIndex(oi))
 	bit := uint8(1) << e.dest.Port
 	if ops.have&bit != 0 {
-		return fmt.Errorf("wavecache: token collision at %s/i%d port %d tag %v",
+		return 0, [3]int64{}, false, fmt.Errorf("wavecache: token collision at %s/i%d port %d tag %v",
 			s.prog.Funcs[e.fn].Name, e.dest.Instr, e.dest.Port, e.tag)
 	}
 	ops.have |= bit
 	ops.vals[e.dest.Port] = e.val
 	need := in.Op.NumInputs()
 	if ops.have != (uint8(1)<<need)-1 {
-		return nil
+		return 0, [3]int64{}, false, nil
 	}
 	vals := ops.vals
 	tbl.Delete(key)
-	s.opSlab.Release(int32(oi))
+	s.opSlabs[opShard(oi)].Release(opIndex(oi))
 	ps.waiting -= need - bits.OnesCount8(in.ImmMask)
 
 	// Residency: fetch the instruction into the PE store if absent.
 	ref := instrKey(e.fn, e.dest.Instr)
-	if _, resident := ps.resident.Get(ref); !resident {
-		s.res.Swaps++
+	if ni, resident := ps.resident.Get(ref); resident {
+		ps.lru.touch(int32(ni))
+	} else {
+		cnt.swaps++
 		t += s.cfg.SwapPenalty
-		s.tr.Swap(e.time, pe)
+		tr.Swap(e.time, pe)
 		if ps.resident.Len() >= s.cfg.PEStore {
-			// Evict the least recently used instruction. Ticks are unique,
-			// so the minimum — and hence the victim — does not depend on
-			// iteration order.
-			var victim uint64
-			oldest, found := int64(0), false
-			ps.resident.Range(func(k uint64, tick int64) bool {
-				if !found || tick < oldest {
-					victim, oldest, found = k, tick, true
-				}
-				return true
-			})
-			ps.resident.Delete(victim)
+			// Evict the least recently used instruction: the list tail.
+			ps.resident.Delete(ps.lru.popTail())
 		}
+		ps.resident.Put(ref, int64(ps.lru.push(ref)))
 	}
-	ps.lruTick++
-	ps.resident.Put(ref, int64(ps.lruTick))
 
 	// One firing per PE per cycle.
 	fireAt := t
@@ -791,9 +1262,7 @@ func (s *sim) deliver(e *event) error {
 		fireAt = ps.free
 	}
 	ps.free = fireAt + 1
-
-	s.pushFire(fireAt, e.fn, e.dest, e.tag, vals)
-	return nil
+	return fireAt, vals, true, nil
 }
 
 // send routes an output token through the operand network. Under fault
@@ -806,7 +1275,7 @@ func (s *sim) send(fromPE int, fn isa.FuncID, dests []isa.Dest, tag isa.Tag, val
 		if err != nil {
 			return err
 		}
-		s.pushToken(arr, fn, d, tag, val)
+		s.pushToken(s.shardFor(dstPE), arr, fn, d, tag, val)
 	}
 	return nil
 }
@@ -859,8 +1328,17 @@ func (s *sim) killPE() error {
 	s.tr.Kill(at, pe)
 	s.res.Faults.MigratedInstrs += uint64(ps.resident.Len())
 	ps.resident.Reset()
+	ps.lru.reset()
 	ps.waiting = 0
 	ps.free = 0
+	// Drop the whole dense home cache: references to surviving homes
+	// re-resolve against the policy's unchanged memo (same answer, no
+	// policy-state perturbation) while the dead PE's instructions re-place
+	// in first-reference-after-death order — exactly the uncached
+	// behaviour.
+	for i := range s.homes {
+		s.homes[i] = -1
+	}
 	// Record the death in the simulator's defect view (copy-on-write: the
 	// caller's map must not be mutated) so diagnostics report it.
 	d := make([]bool, s.cfg.Machine.NumPEs())
@@ -876,7 +1354,7 @@ func (s *sim) killPE() error {
 func (s *sim) diagnose() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "watchdog report: %d events queued, %d instructions fired, t=%d\n",
-		s.q.len(), s.res.Fired, s.maxT)
+		s.qlen(), s.cnt.fired, s.maxT)
 	stuck := 0
 	for i := range s.pes {
 		if s.pes[i].waiting > 0 {
@@ -945,13 +1423,13 @@ func (s *sim) submitMem(pe int, fn isa.FuncID, id isa.InstrID, in *isa.Instructi
 		Addr: addr, Value: val, ChildCtx: childCtx,
 		Cookie: int64(ci),
 	}
-	s.pushMem(arr, req)
+	s.pushMem(s.shardOf[buf], arr, req)
 	return nil
 }
 
 // fire executes one instruction instance.
 func (s *sim) fire(e *event) error {
-	s.res.Fired++
+	s.cnt.fired++
 	s.fuel--
 	if s.fuel < 0 {
 		return fmt.Errorf("wavecache: execution exceeded instruction budget")
@@ -1018,7 +1496,7 @@ func (s *sim) fire(e *event) error {
 		if err != nil {
 			return err
 		}
-		s.pushToken(arr, callee, isa.Dest{Instr: pad, Port: 0}, isa.Tag{Ctx: ctx, Wave: 0}, vals[1])
+		s.pushToken(s.shardFor(dstPE), arr, callee, isa.Dest{Instr: pad, Port: 0}, isa.Tag{Ctx: ctx, Wave: 0}, vals[1])
 	case in.Op == isa.OpReturn:
 		mv, ok := s.ctxTab.Get(uint64(tag.Ctx))
 		if !ok {
@@ -1042,7 +1520,7 @@ func (s *sim) fire(e *event) error {
 		if err != nil {
 			return err
 		}
-		s.pushToken(arr, meta.callerFunc, isa.Dest{Instr: meta.retPad, Port: 0}, meta.callerTag, vals[0])
+		s.pushToken(s.shardFor(dstPE), arr, meta.callerFunc, isa.Dest{Instr: meta.retPad, Port: 0}, meta.callerTag, vals[0])
 	default:
 		return fmt.Errorf("wavecache: cannot execute opcode %s", in.Op)
 	}
@@ -1093,7 +1571,7 @@ func (s *sim) issueMem(r *waveorder.Request) {
 				}
 				return
 			}
-			s.pushToken(arr, ck.fn, d, ck.tag, v)
+			s.pushToken(s.shardFor(dstPE), arr, ck.fn, d, ck.tag, v)
 		}
 	case isa.MemStore:
 		start := s.bufIssueTime(buf)

@@ -1,0 +1,127 @@
+package wavecache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWheelQueueDifferential drives a calendar-wheel queue and a heap
+// queue with the identical randomized push/pop schedule and requires the
+// identical pop sequence. Pushes follow the engine's contract — times at
+// or after the last popped event's time, seq stamps monotone — but are
+// otherwise adversarial: bursts at the current cycle, deltas straddling
+// the ring window (forcing heap overflow), long dead stretches that make
+// the cursor jump, and occasional duplicate times.
+func TestWheelQueueDifferential(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(900 + trial)))
+		var wq, hq eventQueue
+		wq.setWheel(true)
+
+		var seq uint64
+		now := int64(0)
+		push := func(tm int64) {
+			for _, q := range []*eventQueue{&wq, &hq} {
+				i := q.alloc()
+				q.slab[i] = event{time: tm, val: int64(seq)}
+				q.push(i, tm, seq)
+			}
+			seq++
+		}
+		pop := func() {
+			wi, hi := wq.pop(), hq.pop()
+			we, he := wq.slab[wi], hq.slab[hi]
+			if we.time != he.time || we.val != he.val {
+				t.Fatalf("trial %d: wheel popped (t=%d seq=%d), heap popped (t=%d seq=%d)",
+					trial, we.time, we.val, he.time, he.val)
+			}
+			if we.time < now {
+				t.Fatalf("trial %d: pop went backwards: %d after %d", trial, we.time, now)
+			}
+			now = we.time
+			wq.release(wi)
+			hq.release(hi)
+		}
+
+		push(0)
+		for op := 0; op < 8000; op++ {
+			if wq.len() != hq.len() {
+				t.Fatalf("trial %d: len mismatch wheel=%d heap=%d", trial, wq.len(), hq.len())
+			}
+			if wq.len() == 0 || (rng.Intn(3) > 0 && wq.len() < 400) {
+				var d int64
+				switch rng.Intn(10) {
+				case 0: // far future: overflows the ring window
+					d = int64(wheelSize + rng.Intn(3*wheelSize))
+				case 1: // straddle the window edge
+					d = int64(wheelSize - 2 + rng.Intn(5))
+				case 2: // long dead stretch: cursor must jump
+					d = int64(500 + rng.Intn(2000))
+				default: // near future, heavy same-cycle traffic
+					d = int64(rng.Intn(4))
+				}
+				push(now + d)
+			} else {
+				pop()
+			}
+		}
+		for wq.len() > 0 {
+			pop()
+		}
+		if hq.len() != 0 {
+			t.Fatalf("trial %d: heap retains %d events after wheel drained", trial, hq.len())
+		}
+	}
+}
+
+// TestWheelQueuePastPush pins the defensive path: a push behind the drain
+// cursor (impossible for the gated engine, but the queue must stay exact
+// if a future memory model produces one) boards the overflow heap and
+// still pops in global (time, seq) order, before anything at the cursor.
+func TestWheelQueuePastPush(t *testing.T) {
+	var wq, hq eventQueue
+	wq.setWheel(true)
+
+	var seq uint64
+	push := func(tm int64) {
+		for _, q := range []*eventQueue{&wq, &hq} {
+			i := q.alloc()
+			q.slab[i] = event{time: tm, val: int64(seq)}
+			q.push(i, tm, seq)
+		}
+		seq++
+	}
+	popBoth := func() (int64, int64) {
+		wi, hi := wq.pop(), hq.pop()
+		we, he := wq.slab[wi], hq.slab[hi]
+		if we.time != he.time || we.val != he.val {
+			t.Fatalf("wheel popped (t=%d seq=%d), heap popped (t=%d seq=%d)",
+				we.time, we.val, he.time, he.val)
+		}
+		wq.release(wi)
+		hq.release(hi)
+		return we.time, we.val
+	}
+
+	push(10)
+	push(10)
+	if tm, _ := popBoth(); tm != 10 {
+		t.Fatalf("expected t=10 first, got %d", tm)
+	}
+	// Cursor now at 10; back-date below it, plus same-cycle and future
+	// company, and verify the back-dated pair drains first in seq order.
+	push(3)
+	push(10)
+	push(3)
+	push(12)
+	want := []struct{ tm, sq int64 }{{3, 2}, {3, 4}, {10, 1}, {10, 3}, {12, 5}}
+	for _, w := range want {
+		tm, sq := popBoth()
+		if tm != w.tm || sq != w.sq {
+			t.Fatalf("got (t=%d seq=%d), want (t=%d seq=%d)", tm, sq, w.tm, w.sq)
+		}
+	}
+	if wq.len() != 0 {
+		t.Fatalf("queue not drained: %d left", wq.len())
+	}
+}

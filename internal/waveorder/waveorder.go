@@ -142,9 +142,15 @@ func (w *waveState) empty() bool { return len(w.reqs) == 0 }
 // position is carried as scalars (lastSeq/lastSucc) rather than a retained
 // *Request so issued requests can be recycled immediately.
 type ctxState struct {
-	id      uint32
-	waves   map[uint32]*waveState
-	curWave uint32
+	id uint32
+	// waves is a dense sliding window of buffered wave state: waves[i]
+	// holds wave number waveBase+i (nil = nothing buffered). Wave numbers
+	// a context touches at any instant cluster tightly around curWave, so
+	// a window replaces the old per-context map on the drain hot path;
+	// completed leading waves shift the window forward (see clearWave).
+	waves    []*waveState
+	waveBase uint32
+	curWave  uint32
 
 	// hasLast/lastSeq/lastSucc describe the last issued request of
 	// curWave; hasLast is false at a wave start.
@@ -162,13 +168,48 @@ type ctxState struct {
 	ended bool
 }
 
-func (c *ctxState) wave(n uint32) *waveState {
-	w := c.waves[n]
-	if w == nil {
-		w = newWaveState()
-		c.waves[n] = w
+// waveAt returns the buffered state for wave n, nil if none.
+func (c *ctxState) waveAt(n uint32) *waveState {
+	if n < c.waveBase || n-c.waveBase >= uint32(len(c.waves)) {
+		return nil
 	}
-	return w
+	return c.waves[n-c.waveBase]
+}
+
+// setWave installs w as wave n's buffer, growing the window as needed. A
+// wave before the window start (a request for an already-completed wave —
+// pathological but representable) re-extends the window backwards,
+// preserving the old map semantics exactly: such a request buffers
+// forever and surfaces in the deadlock dump.
+func (c *ctxState) setWave(n uint32, w *waveState) {
+	if n < c.waveBase {
+		shift := int(c.waveBase - n)
+		grown := make([]*waveState, shift+len(c.waves))
+		copy(grown[shift:], c.waves)
+		c.waves = grown
+		c.waveBase = n
+	}
+	for n-c.waveBase >= uint32(len(c.waves)) {
+		c.waves = append(c.waves, nil)
+	}
+	c.waves[n-c.waveBase] = w
+}
+
+// clearWave empties wave n's slot and slides the window past any leading
+// empty slots (windows are a handful of waves, so the shift is cheap).
+func (c *ctxState) clearWave(n uint32) {
+	if n >= c.waveBase && n-c.waveBase < uint32(len(c.waves)) {
+		c.waves[n-c.waveBase] = nil
+	}
+	lead := 0
+	for lead < len(c.waves) && c.waves[lead] == nil {
+		lead++
+	}
+	if lead > 0 {
+		k := copy(c.waves, c.waves[lead:])
+		c.waves = c.waves[:k]
+		c.waveBase += uint32(lead)
+	}
 }
 
 // Engine assembles wave-ordered memory requests into the thread's total
@@ -256,9 +297,9 @@ func (e *Engine) newCtxState(id uint32) *ctxState {
 	if n := len(e.csPool); n > 0 {
 		c = e.csPool[n-1]
 		e.csPool = e.csPool[:n-1]
-		*c = ctxState{waves: c.waves}
+		*c = ctxState{waves: c.waves[:0]}
 	} else {
-		c = &ctxState{waves: make(map[uint32]*waveState)}
+		c = &ctxState{}
 	}
 	c.id = id
 	return c
@@ -266,10 +307,13 @@ func (e *Engine) newCtxState(id uint32) *ctxState {
 
 // releaseCtx recycles a context and any wave state still buffered in it.
 func (e *Engine) releaseCtx(c *ctxState) {
-	for n, w := range c.waves {
-		e.releaseWave(w)
-		delete(c.waves, n)
+	for i, w := range c.waves {
+		if w != nil {
+			e.releaseWave(w)
+		}
+		c.waves[i] = nil
 	}
+	c.waves = c.waves[:0]
 	e.csPool = append(e.csPool, c)
 }
 
@@ -277,8 +321,6 @@ func (e *Engine) releaseWave(w *waveState) {
 	w.reqs = w.reqs[:0]
 	e.wsPool = append(e.wsPool, w)
 }
-
-func newWaveState() *waveState { return &waveState{} }
 
 // wavePooled takes a wave buffer from the freelist or allocates one.
 func (e *Engine) wavePooled() *waveState {
@@ -292,10 +334,10 @@ func (e *Engine) wavePooled() *waveState {
 
 // waveOf returns (creating if needed) c's buffer for wave n.
 func (e *Engine) waveOf(c *ctxState, n uint32) *waveState {
-	w := c.waves[n]
+	w := c.waveAt(n)
 	if w == nil {
 		w = e.wavePooled()
-		c.waves[n] = w
+		c.setWave(n, w)
 	}
 	return w
 }
@@ -352,7 +394,7 @@ func (e *Engine) drain() error {
 		if c == nil || c.ended {
 			return nil
 		}
-		w := c.waves[c.curWave]
+		w := c.waveAt(c.curWave)
 		if w == nil {
 			return nil
 		}
@@ -374,7 +416,7 @@ func (e *Engine) drain() error {
 		}
 		w.remove(next)
 		if w.empty() {
-			delete(c.waves, c.curWave)
+			c.clearWave(c.curWave)
 			e.releaseWave(w)
 		}
 		e.pending--
@@ -493,14 +535,13 @@ func (e *Engine) DebugState() string {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		c := e.ctxs[id]
-		wns := make([]uint32, 0, len(c.waves))
-		for wn := range c.waves {
-			wns = append(wns, wn)
-		}
-		sort.Slice(wns, func(i, j int) bool { return wns[i] < wns[j] })
-		for _, wn := range wns {
-			for _, r := range c.waves[wn].reqs {
-				fmt.Fprintf(&b, "  ctx%d w%d: %v\n", id, wn, r)
+		// The window is ordered by wave number already.
+		for i, w := range c.waves {
+			if w == nil {
+				continue
+			}
+			for _, r := range w.reqs {
+				fmt.Fprintf(&b, "  ctx%d w%d: %v\n", id, c.waveBase+uint32(i), r)
 			}
 		}
 	}

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Render a BENCH_<n>.json before/after record from two `go test -bench`
+output files (interleaved A/B runs of two prebuilt binaries). Usage:
+
+    python3 scripts/benchjson.py before.txt after.txt description command > BENCH_n.json
+
+Medians are taken per benchmark across all samples in each file; the
+geomean is over the per-benchmark median speedups.
+"""
+import json
+import math
+import re
+import statistics
+import sys
+
+
+def parse(path):
+    out = {}
+    cpu = None
+    for line in open(path):
+        if line.startswith("cpu:"):
+            cpu = line.split(":", 1)[1].strip()
+        m = re.match(
+            r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op",
+            line,
+        )
+        if m:
+            out.setdefault(m.group(1), []).append(
+                (int(m.group(2)), int(m.group(3)), int(m.group(4)))
+            )
+    return out, cpu
+
+
+def med(samples, i):
+    return statistics.median(s[i] for s in samples)
+
+
+def main():
+    before_path, after_path, description, command = sys.argv[1:5]
+    before, cpu = parse(before_path)
+    after, _ = parse(after_path)
+    results = []
+    logs = []
+    for name in sorted(before, key=lambda s: int(re.search(r"E(\d+)", s).group(1))):
+        if name not in after:
+            continue
+        b, a = before[name], after[name]
+        speedup = med(b, 0) / med(a, 0)
+        logs.append(math.log(speedup))
+        results.append(
+            {
+                "benchmark": name,
+                "count": min(len(b), len(a)),
+                "before": {
+                    "ns_op_median": int(med(b, 0)),
+                    "bytes_op_median": int(med(b, 1)),
+                    "allocs_op_median": int(med(b, 2)),
+                },
+                "after": {
+                    "ns_op_median": int(med(a, 0)),
+                    "bytes_op_median": int(med(a, 1)),
+                    "allocs_op_median": int(med(a, 2)),
+                },
+                "speedup": round(speedup, 2),
+                "allocs_ratio": round(med(a, 2) / max(med(b, 2), 1), 3),
+            }
+        )
+    doc = {
+        "description": description,
+        "cpu": cpu,
+        "command": command,
+        "geomean_speedup": round(math.exp(sum(logs) / len(logs)), 2),
+        "results": results,
+    }
+    json.dump(doc, sys.stdout, indent=2)
+    print()
+
+
+if __name__ == "__main__":
+    main()
