@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci check vet build test race race-shards soak bench bench-base bench-cmp bench-shards fuzz fuzz-diff corpus
+.PHONY: ci check vet build test race race-shards soak bench bench-base bench-cmp bench-shards bench-opt fuzz fuzz-diff corpus
 
 ci: vet build test race
 
@@ -36,7 +36,7 @@ test:
 # full experiment suite at race-instrumented speed), so the pass needs more
 # than go test's default 10-minute per-package timeout.
 race:
-	$(GO) test -race -timeout 30m ./internal/parallel ./internal/harness ./internal/wavecache ./internal/ooo ./internal/fault ./internal/noc ./internal/waveorder ./internal/trace ./internal/tagtable ./internal/serve
+	$(GO) test -race -timeout 30m ./internal/parallel ./internal/harness ./internal/wavecache ./internal/ooo ./internal/fault ./internal/noc ./internal/waveorder ./internal/trace ./internal/tagtable ./internal/serve ./internal/cfgir ./internal/placemodel
 
 # soak hammers the waved service layer under the race detector: hundreds
 # of concurrent mixed requests across multiple tenants against an
@@ -105,6 +105,30 @@ bench-cmp:
 		paste bench.base.sorted.txt bench.new.sorted.txt | column -t; \
 		rm -f bench.base.sorted.txt bench.new.sorted.txt; \
 	fi
+
+# bench-opt is the compiler memory-optimization tier's A/B gate: one
+# prebuilt test binary, run with the tier off (WAVEOPT=0) and on
+# (WAVEOPT=1) in strictly interleaved passes so host drift cancels (the
+# same methodology as BENCH_8 — back-to-back medians on a noisy host
+# would be dominated by drift). The regex focuses on the memory-bound
+# tables, where eliminating memory-chain slots pays in simulated cycles;
+# scripts/benchjson.py renders the record to BENCH_9.json.
+OPTBENCHRE ?= BenchmarkE1b_|BenchmarkE4_|BenchmarkE7_
+OPTCOUNT ?= 5
+
+bench-opt:
+	$(GO) test -c -o bench.opt.test .
+	rm -f bench.opt0.txt bench.opt1.txt
+	for i in $$(seq $(OPTCOUNT)); do \
+		WAVEOPT=0 ./bench.opt.test -test.bench='$(OPTBENCHRE)' -test.benchtime=1x -test.benchmem -test.run='^$$' >> bench.opt0.txt || exit 1; \
+		WAVEOPT=1 ./bench.opt.test -test.bench='$(OPTBENCHRE)' -test.benchtime=1x -test.benchmem -test.run='^$$' >> bench.opt1.txt || exit 1; \
+	done
+	python3 scripts/benchjson.py bench.opt0.txt bench.opt1.txt \
+		"compiler memory-optimization tier: -O0 (before) vs -O1 (after), same engine binary; AIPC tables byte-stable per tier, wall-clock and simulated cycles move" \
+		"WAVEOPT={0,1} ./bench.opt.test -test.bench='$(OPTBENCHRE)' -test.benchtime=1x -test.benchmem -test.run='^$$' (interleaved passes of one prebuilt binary)" \
+		> BENCH_9.json
+	rm -f bench.opt.test
+	@echo wrote BENCH_9.json
 
 # bench-shards compares the experiment benchmarks with the event engine
 # sequential (shards=1) vs sharded (shards=$(SHARDS)) inside every

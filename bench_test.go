@@ -4,9 +4,10 @@ package wavescalar
 // benchmark per reconstructed table/figure of the MICRO 2003 evaluation
 // (experiments E1–E11; see DESIGN.md for the index and EXPERIMENTS.md for
 // the recorded results). Each benchmark regenerates its table on a reduced
-// configuration (two kernels, 2x2 cluster grid) so `go test -bench=.`
+// configuration (three kernels, 2x2 cluster grid) so `go test -bench=.`
 // terminates in minutes; the full-suite tables are produced by
-// `go run ./cmd/waveexp`.
+// `go run ./cmd/waveexp`. The set includes ammp because it is the kernel
+// where the compiler memory-optimization tier fires (see `make bench-opt`).
 
 import (
 	"os"
@@ -23,11 +24,22 @@ var (
 	benchErr  error
 )
 
+// benchCompileOptions returns the benchmark suite's compile options.
+// WAVEOPT selects the optimizer tier (`make bench-opt` drives it with 0
+// and 1 for the before/after passes); unset keeps the default tier.
+func benchCompileOptions() harness.CompileOptions {
+	o := harness.DefaultCompileOptions()
+	if n, err := strconv.Atoi(os.Getenv("WAVEOPT")); err == nil && n >= 0 {
+		o.OptLevel = n
+	}
+	return o
+}
+
 // benchSuite compiles the reduced benchmark set once for all benchmarks.
 func benchSuite(b *testing.B) []*harness.Compiled {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchSet, benchErr = harness.Suite([]string{"lu", "fft"}, harness.DefaultCompileOptions())
+		benchSet, benchErr = harness.Suite([]string{"lu", "fft", "ammp"}, benchCompileOptions())
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -69,6 +81,11 @@ func runExperiment(b *testing.B, id string) {
 // WaveCache vs. out-of-order superscalar vs. ideal dataflow.
 func BenchmarkE1_SpeedupVsSuperscalar(b *testing.B) { runExperiment(b, "E1") }
 
+// BenchmarkE1b_MemoryPressure regenerates the memory-regime sweep — the
+// most memory-bound table, and with E4 the one `make bench-opt` uses to
+// measure the compiler memory-optimization tier's simulation-side win.
+func BenchmarkE1b_MemoryPressure(b *testing.B) { runExperiment(b, "E1b") }
+
 // BenchmarkE2_PECapacity regenerates the PE instruction-store capacity
 // sweep (swap thrashing at small stores).
 func BenchmarkE2_PECapacity(b *testing.B) { runExperiment(b, "E2") }
@@ -107,6 +124,12 @@ func BenchmarkE11_Unrolling(b *testing.B) { runExperiment(b, "E11") }
 // (defect maps, message loss, recovery costs).
 func BenchmarkE12_FaultInjection(b *testing.B) { runExperiment(b, "E12") }
 
+// BenchmarkE14_OptFeedback regenerates the optimizer-tier x placement
+// feedback matrix. It compiles both tiers internally, so unlike E1b/E4
+// it is insensitive to WAVEOPT — measure it for its own wall-clock, not
+// in the bench-opt A/B.
+func BenchmarkE14_OptFeedback(b *testing.B) { runExperiment(b, "E14") }
+
 // benchExperimentWorkers reports the harness wall-clock for one
 // experiment at a fixed worker count; comparing the Sequential and
 // Parallel variants below shows the speedup of the cell pool (identical
@@ -138,7 +161,7 @@ func BenchmarkHarnessCellsParallel(b *testing.B)  { benchExperimentWorkers(b, "E
 // compilation at one worker vs one per CPU.
 func benchSuiteCompile(b *testing.B, workers int) {
 	b.Helper()
-	opts := harness.DefaultCompileOptions()
+	opts := benchCompileOptions()
 	opts.Workers = workers
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

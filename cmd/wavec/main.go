@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	wavec [-unroll N] [-select] [-noopt] [-stats] file.wsl
+//	wavec [-unroll N] [-O level] [-select] [-noopt] [-stats] file.wsl
 //
 // The assembly is written to standard output; -stats prints a per-function
 // summary (instruction counts, waves, memory ops) to standard error.
@@ -20,6 +20,7 @@ func main() {
 	unroll := flag.Int("unroll", 4, "loop unrolling factor (1 disables)")
 	useSelect := flag.Bool("select", false, "lower small diamonds to φ SELECT instead of steers")
 	noopt := flag.Bool("noopt", false, "disable the IR optimizer")
+	optLevel := flag.Int("O", 1, "optimization level: 0 = base passes only, 1 = memory tier (scalar replacement, store forwarding, dead stores)")
 	showStats := flag.Bool("stats", false, "print compilation statistics to stderr")
 	dotFunc := flag.String("dot", "", "emit a GraphViz graph of the named function ('main' for the entry) instead of assembly")
 	flag.Usage = func() {
@@ -39,6 +40,7 @@ func main() {
 		Unroll:    *unroll,
 		UseSelect: *useSelect,
 		Optimize:  !*noopt,
+		OptLevel:  *optLevel,
 	}
 	prog, err := wavescalar.Compile(string(src), cfg)
 	if err != nil {
@@ -55,6 +57,26 @@ func main() {
 	}
 	if *showStats {
 		fmt.Fprintf(os.Stderr, "static dataflow instructions: %d\n", prog.StaticInstructions())
+		chains := prog.ChainStats()
+		fmt.Fprintf(os.Stderr, "memory chain slots: %d (loads %d, stores %d, mem-nops %d, calls %d, ends %d)\n",
+			chains.Slots, chains.Loads, chains.Stores, chains.Nops, chains.Calls, chains.Ends)
+		fmt.Fprintf(os.Stderr, "memory chains: %d (avg length %.1f, max %d)\n",
+			chains.Chains, chains.AvgChain(), chains.MaxChain)
+		if st, on := prog.OptStats(); on {
+			fmt.Fprintf(os.Stderr, "memory tier: %d stores forwarded, %d loads reused, %d loads promoted, %d dead stores\n",
+				st.StoresForwarded, st.LoadsReused, st.LoadsPromoted, st.DeadStores)
+			fmt.Fprintf(os.Stderr, "memory tier: mem ops %d -> %d, instrs %d -> %d\n",
+				st.MemBefore, st.MemAfter, st.InstrsBefore, st.InstrsAfter)
+			// Chain-length before/after: recompile without the tier for the
+			// baseline chains (cheap for a single program).
+			base := cfg
+			base.OptLevel = 0
+			if unopt, err := wavescalar.Compile(string(src), base); err == nil {
+				b := unopt.ChainStats()
+				fmt.Fprintf(os.Stderr, "memory tier: chain slots %d -> %d, mem-nops %d -> %d, max chain %d -> %d\n",
+					b.Slots, chains.Slots, b.Nops, chains.Nops, b.MaxChain, chains.MaxChain)
+			}
+		}
 	}
 }
 

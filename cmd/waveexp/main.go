@@ -50,6 +50,7 @@ func main() {
 	grid := flag.String("grid", "4x4", "cluster grid, WxH")
 	outPath := flag.String("out", "", "write results to this file instead of stdout (atomic: temp file + rename)")
 	unroll := flag.Int("unroll", 4, "loop unrolling factor")
+	optLevel := flag.Int("O", 1, "optimization level: 0 = base passes only, 1 = compiler memory tier (part of the corpus cell-cache key)")
 	jobs := flag.Int("j", runtime.NumCPU(), "worker goroutines for compilation and simulation cells (1 = sequential)")
 	engineShards := flag.Int("shards", 0,
 		"event-engine shards inside each simulation (0 or 1 = sequential; distinct from -shard, which splits corpus cells); results are bit-identical at every setting")
@@ -107,7 +108,7 @@ func main() {
 	}
 
 	if *corpusN > 0 {
-		runCorpus(out, *corpusN, *corpusSeed, *cacheDir, *shard, *resume, *jobs, *engineShards)
+		runCorpus(out, *corpusN, *corpusSeed, *cacheDir, *shard, *resume, *jobs, *engineShards, *optLevel)
 		if err := commit(); err != nil {
 			fatal(err)
 		}
@@ -123,6 +124,7 @@ func main() {
 	}
 	copts := harness.DefaultCompileOptions()
 	copts.Unroll = *unroll
+	copts.OptLevel = *optLevel
 	copts.Workers = *jobs
 	start := time.Now()
 	fmt.Fprintf(out, "compiling %d workloads...\n", len(pick(names)))
@@ -131,6 +133,13 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(out, "compiled in %v\n", time.Since(start).Round(time.Millisecond))
+	if *metrics && copts.OptLevel >= 1 {
+		var cm trace.Metrics
+		for _, c := range set {
+			c.AddCompileMetrics(&cm)
+		}
+		fmt.Fprintln(out, cm.CompileSummary("compile: memory-optimization tier (all workloads)").Render())
+	}
 
 	m := harness.DefaultMachineOptions()
 	m.Workers = *jobs
@@ -173,7 +182,7 @@ func main() {
 // the section header and the table — goes to out, so an -out file from a
 // sharded, resumed, or cached run is byte-identical to a single
 // invocation's; run statistics and timing go to stderr.
-func runCorpus(out io.Writer, n int, seed int64, cacheDir, shard string, resume bool, jobs, engineShards int) {
+func runCorpus(out io.Writer, n int, seed int64, cacheDir, shard string, resume bool, jobs, engineShards, optLevel int) {
 	o := harness.CorpusOptions{
 		N:        n,
 		Seed:     seed,
@@ -182,6 +191,7 @@ func runCorpus(out io.Writer, n int, seed int64, cacheDir, shard string, resume 
 		Compile:  harness.DefaultCompileOptions(),
 		Machine:  harness.DefaultCorpusMachine(),
 	}
+	o.Compile.OptLevel = optLevel
 	o.Compile.Workers = jobs
 	o.Machine.Workers = jobs
 	// Engine shards change cell wall-clock, never cell results, so the

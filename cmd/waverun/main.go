@@ -20,6 +20,7 @@ import (
 func main() {
 	isAsm := flag.Bool("asm", false, "input is WaveScalar assembly, not wsl source")
 	unroll := flag.Int("unroll", 4, "loop unrolling factor for wsl input")
+	optLevel := flag.Int("O", 1, "optimization level: 0 = base passes only, 1 = compiler memory tier")
 	maxCycles := flag.Int64("max-cycles", 0,
 		"abort after this many interpreter steps with a diagnostic dump (0 = default budget)")
 	flag.Usage = func() {
@@ -40,7 +41,7 @@ func main() {
 	if *isAsm || strings.HasSuffix(flag.Arg(0), ".wsa") {
 		prog, err = wavescalar.ParseAssembly(string(data))
 	} else {
-		prog, err = wavescalar.Compile(string(data), wavescalar.CompileConfig{Unroll: *unroll, Optimize: true})
+		prog, err = wavescalar.Compile(string(data), wavescalar.CompileConfig{Unroll: *unroll, Optimize: true, OptLevel: *optLevel})
 	}
 	if err != nil {
 		fatal(err)

@@ -40,6 +40,7 @@ func main() {
 	density := flag.Int("density", 16, "instruction homes packed per PE")
 	queue := flag.Int("queue", 64, "PE matching-table capacity")
 	unroll := flag.Int("unroll", 4, "loop unrolling factor")
+	optLevel := flag.Int("O", 1, "optimization level: 0 = base passes only, 1 = compiler memory tier")
 	shards := flag.Int("shards", 0,
 		"event-engine shards (0 or 1 = sequential); results are bit-identical at every setting")
 	baseline := flag.Bool("baseline", false, "also run the superscalar baseline and report speedup")
@@ -77,7 +78,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := wavescalar.Compile(string(src), wavescalar.CompileConfig{Unroll: *unroll, Optimize: true})
+	prog, err := wavescalar.Compile(string(src), wavescalar.CompileConfig{Unroll: *unroll, Optimize: true, OptLevel: *optLevel})
 	if err != nil {
 		fatal(err)
 	}

@@ -13,7 +13,7 @@ import (
 
 // corpusCellVersion names the CorpusCell schema for cache keys; bump it
 // when the cell's serialized shape or meaning changes.
-const corpusCellVersion = "cell-v1"
+const corpusCellVersion = "cell-v2"
 
 // CorpusOptions configures a corpus-scale differential sweep (experiment
 // E13): N generated programs, each verified across the full engine table.
@@ -84,6 +84,7 @@ func corpusCellKey(spec testprogs.CorpusSpec, o CorpusOptions) string {
 		"corpus-cell", corpusCellVersion, EngineSetVersion,
 		spec.Name(),
 		strconv.Itoa(o.Compile.Unroll),
+		fmt.Sprintf("opt=%d", o.Compile.OptLevel),
 		fmt.Sprintf("grid=%dx%d density=%d queue=%d policy=%s maxcycles=%d",
 			m.GridW, m.GridH, m.Density, m.InputQueue, m.Policy, m.MaxCycles),
 	)

@@ -47,6 +47,41 @@ func TestCorpusDifferentialAgreement(t *testing.T) {
 	}
 }
 
+// TestCorpusDifferentialAgreementO0 repeats the agreement sweep with the
+// memory-optimization tier off. Together with the default sweep above
+// (which compiles at DefaultCompileOptions' OptLevel 1) it pins the
+// tier's soundness contract corpus-wide: both the optimized and the
+// unoptimized binary of every generated program must agree with all nine
+// engines, so the two binaries transitively agree with each other. A
+// smaller N keeps the combined runtime near the old single sweep; the
+// full-size O1 sweep plus FuzzDifferential (which runs both tiers per
+// input) covers the long tail.
+func TestCorpusDifferentialAgreementO0(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus differential sweep is slow")
+	}
+	nFamilies := len(testprogs.Families())
+	o := corpusOptions(60*nFamilies, 0)
+	o.Compile.OptLevel = 0
+	run, err := RunCorpus(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Missing != 0 {
+		t.Fatalf("%d cells missing from an unsharded, uncached run", run.Missing)
+	}
+	if run.Mismatched != 0 {
+		for i, cell := range run.Cells {
+			if cell != nil && !cell.Pass {
+				d := DiffResult{Name: cell.Spec.Name(), Want: cell.Want, Results: cell.Engines}
+				src, _ := testprogs.GenerateSpec(cell.Spec)
+				t.Errorf("cell %d (%s at -O0): %v\n%s", i, cell.Spec.Name(), d.Mismatches(), src)
+			}
+		}
+		t.Fatalf("%d/%d cells mismatched at -O0", run.Mismatched, run.Computed)
+	}
+}
+
 // TestCorpusShardMergeByteIdentical is the resumable-sweep acceptance
 // criterion in miniature: two -shard k/2 invocations into one cache dir,
 // followed by a -resume invocation, must render a table byte-identical to

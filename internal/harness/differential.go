@@ -16,7 +16,7 @@ import (
 // pipeline change), and stale cached cells stop matching instead of
 // silently polluting resumed sweeps. Being a source constant, the version
 // is visible in git history alongside the change that required the bump.
-const EngineSetVersion = "engines-v1"
+const EngineSetVersion = "engines-v2"
 
 // EngineRun is one engine's observation of a program: the final checksum
 // every engine must agree on, and — for the timing engines — the

@@ -550,7 +550,7 @@ func runE11(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 			if err != nil {
 				return err
 			}
-			rolled, err := CompileWorkload(w, CompileOptions{Unroll: 1})
+			rolled, err := CompileWorkload(w, CompileOptions{Unroll: 1, OptLevel: c.Opt})
 			if err != nil {
 				return err
 			}

@@ -79,7 +79,13 @@ func goldenConfig(m MachineOptions, sc fault.Config) wavecache.Config {
 
 func collectGolden(t *testing.T, shards int) []goldenRecord {
 	t.Helper()
-	set, err := Suite(nil, DefaultCompileOptions())
+	opts := DefaultCompileOptions()
+	// The golden snapshot predates the memory-optimization tier and pins
+	// the pre-optimizer binaries bit-for-bit; replay must compile exactly
+	// the program the snapshot recorded. The tier's correctness is covered
+	// separately by the differential suites at both opt levels.
+	opts.OptLevel = 0
+	set, err := Suite(nil, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,13 +49,28 @@ type Compiled struct {
 	Checksum int64
 	// UsefulInstrs is the dynamic linear instruction count: the
 	// architecture-neutral work metric (the paper's "Alpha-equivalent"
-	// instruction count).
+	// instruction count). Note it is measured on the binary this Compiled
+	// was built with, so at OptLevel >= 1 it reflects the optimized
+	// program.
 	UsefulInstrs int64
+	// Opt is the optimization level the pipeline ran at; MemOpt the
+	// memory tier's per-pass counters (zero at Opt 0) and Chains the
+	// wave binary's memory-chain statistics.
+	Opt    int
+	MemOpt cfgir.MemOptStats
+	Chains wavec.ChainStats
 }
 
 // CompileOptions controls the build pipeline.
 type CompileOptions struct {
 	Unroll int // loop unrolling factor (0/1 = off)
+	// OptLevel selects the optimizer tier: 0 runs only the base pipeline
+	// (constant folding, CSE, dead code), 1 adds the memory tier
+	// (store-to-load forwarding, redundant-load elimination, scalar
+	// replacement, dead-store elimination — see cfgir.OptimizeMemory).
+	// Unlike Shards, the level changes the compiled program, so it is part
+	// of every compiled-program cache key.
+	OptLevel int
 	// Workers bounds the goroutines Suite compiles workloads across
 	// (0 = one per CPU, 1 = sequential).
 	Workers int
@@ -66,8 +81,10 @@ type CompileOptions struct {
 }
 
 // DefaultCompileOptions is the harness pipeline: unroll by 4, as the
-// paper's Alpha toolchain would.
-func DefaultCompileOptions() CompileOptions { return CompileOptions{Unroll: 4} }
+// paper's Alpha toolchain would, with the memory-optimization tier on.
+// (The golden-snapshot tests pin OptLevel 0 explicitly so the recorded
+// pre-optimizer binaries replay bit-for-bit.)
+func DefaultCompileOptions() CompileOptions { return CompileOptions{Unroll: 4, OptLevel: 1} }
 
 // Source returns the program's wsl source, falling back to the named
 // workload's source for Compiled values predating the Src field.
@@ -79,6 +96,24 @@ func (c *Compiled) Source() string {
 		return w.Src
 	}
 	return ""
+}
+
+// AddCompileMetrics folds the program's compile-time optimizer statistics
+// into a trace metrics record (the compile-tier rows of the -metrics
+// summary). A no-op for programs compiled at OptLevel 0.
+func (c *Compiled) AddCompileMetrics(m *trace.Metrics) {
+	if c.Opt < 1 {
+		return
+	}
+	m.CompilePrograms++
+	m.StoresForwarded += c.MemOpt.StoresForwarded
+	m.LoadsReused += c.MemOpt.LoadsReused
+	m.LoadsPromoted += c.MemOpt.LoadsPromoted
+	m.DeadStores += c.MemOpt.DeadStores
+	m.MemOpsEliminated += c.MemOpt.MemBefore - c.MemOpt.MemAfter
+	m.InstrsEliminated += c.MemOpt.Eliminated()
+	m.ChainSlots += c.Chains.Slots
+	m.ChainNops += c.Chains.Nops
 }
 
 // CompileWorkload builds one workload through the full pipeline.
@@ -96,59 +131,60 @@ func CompileWorkload(w *workloads.Workload, opts CompileOptions) (*Compiled, err
 // the linear emulator's checksum against the AST evaluator exactly as the
 // workload path always has.
 func CompileSource(name, src string, opts CompileOptions) (*Compiled, error) {
-	c := &Compiled{Name: name, Src: src}
+	c := &Compiled{Name: name, Src: src, Opt: opts.OptLevel}
 
-	build := func(unroll int, waveOpts wavec.Options) (*isa.Program, *cfgir.Program, error) {
+	buildIR := func(unroll int) (*cfgir.Program, cfgir.MemOptStats, error) {
 		f, err := lang.ParseAndCheck(src)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s: frontend: %w", name, err)
+			return nil, cfgir.MemOptStats{}, fmt.Errorf("%s: frontend: %w", name, err)
 		}
 		if unroll > 1 {
 			lang.Unroll(f, unroll)
 		}
 		p, err := cfgir.Build(f)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s: build: %w", name, err)
+			return nil, cfgir.MemOptStats{}, fmt.Errorf("%s: build: %w", name, err)
 		}
 		for _, fn := range p.Funcs {
 			fn.Compact()
 		}
 		p.Optimize()
+		var st cfgir.MemOptStats
+		if opts.OptLevel >= 1 {
+			st = p.OptimizeMemory()
+		}
+		return p, st, nil
+	}
+
+	build := func(unroll int, waveOpts wavec.Options) (*isa.Program, cfgir.MemOptStats, error) {
+		p, st, err := buildIR(unroll)
+		if err != nil {
+			return nil, st, err
+		}
 		wp, err := wavec.Compile(p, waveOpts)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s: wavec: %w", name, err)
+			return nil, st, fmt.Errorf("%s: wavec: %w", name, err)
 		}
-		return wp, p, nil
+		return wp, st, nil
 	}
 
 	var err error
-	var irProg *cfgir.Program
-	if c.Wave, irProg, err = build(opts.Unroll, wavec.Options{}); err != nil {
+	if c.Wave, c.MemOpt, err = build(opts.Unroll, wavec.Options{}); err != nil {
 		return nil, err
 	}
+	c.Chains = wavec.MeasureChains(c.Wave)
 	// The linear program shares the IR pipeline; wavec mutates the IR
 	// (edge splitting) but that does not change semantics or instruction
-	// counts materially, so rebuild cleanly for fairness.
+	// counts materially, so rebuild cleanly for fairness. The same opt
+	// level applies so both binaries run the same optimized program.
 	{
-		f, err := lang.ParseAndCheck(src)
-		if err != nil {
-			return nil, fmt.Errorf("%s: frontend: %w", name, err)
-		}
-		if opts.Unroll > 1 {
-			lang.Unroll(f, opts.Unroll)
-		}
-		p, err := cfgir.Build(f)
+		p, _, err := buildIR(opts.Unroll)
 		if err != nil {
 			return nil, err
 		}
-		for _, fn := range p.Funcs {
-			fn.Compact()
-		}
-		p.Optimize()
 		if c.Linear, err = linear.Compile(p); err != nil {
 			return nil, err
 		}
-		_ = irProg
 	}
 	if c.WaveSel, _, err = build(opts.Unroll, wavec.Options{IfConvert: true}); err != nil {
 		return nil, err

@@ -580,7 +580,36 @@ func New(name string, m Machine, prog *isa.Program, seed uint64) (Policy, error)
 	case "packed-random":
 		return NewPackedRandom(m, seed)
 	}
+	if ctor, ok := registered[name]; ok {
+		return ctor(m, prog, seed)
+	}
 	return nil, fmt.Errorf("placement: unknown policy %q", name)
+}
+
+// Ctor builds a registered policy; it receives exactly New's arguments.
+type Ctor func(m Machine, prog *isa.Program, seed uint64) (Policy, error)
+
+var (
+	registered      = map[string]Ctor{}
+	registeredOrder []string
+)
+
+// Register adds an externally implemented policy under name, making it
+// reachable through New and visible in Names. Registration happens from
+// package init functions (e.g. internal/placemodel's profile-feedback
+// policy, which cannot live here without an import cycle); duplicate or
+// built-in-shadowing names panic, as that is a programming error.
+func Register(name string, ctor Ctor) {
+	for _, n := range builtinNames {
+		if n == name {
+			panic("placement: Register would shadow built-in policy " + name)
+		}
+	}
+	if _, dup := registered[name]; dup {
+		panic("placement: duplicate policy registration " + name)
+	}
+	registered[name] = ctor
+	registeredOrder = append(registeredOrder, name)
 }
 
 // Traced wraps a policy so every fresh home assignment — and every
@@ -619,14 +648,21 @@ func (t *traced) MarkDefective(pe int) error {
 	return rc.MarkDefective(pe)
 }
 
-// Names lists the available policies.
+var builtinNames = []string{
+	"dynamic-snake",
+	"static-snake",
+	"depth-first-snake",
+	"dynamic-depth-first-snake",
+	"random",
+	"packed-random",
+}
+
+// Names lists the available policies: the built-ins followed by registered
+// external policies in registration order (deterministic — init order is
+// fixed by the import graph).
 func Names() []string {
-	return []string{
-		"dynamic-snake",
-		"static-snake",
-		"depth-first-snake",
-		"dynamic-depth-first-snake",
-		"random",
-		"packed-random",
-	}
+	out := make([]string, 0, len(builtinNames)+len(registeredOrder))
+	out = append(out, builtinNames...)
+	out = append(out, registeredOrder...)
+	return out
 }

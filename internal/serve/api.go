@@ -26,6 +26,10 @@ type SimulateRequest struct {
 	Grid string `json:"grid,omitempty"`
 	// Unroll is the loop unrolling factor (0 = the pipeline default of 4).
 	Unroll int `json:"unroll,omitempty"`
+	// Opt is the compiler optimization level: nil = the pipeline default
+	// (1, memory tier on), explicit 0 = base passes only. Unlike Shards it
+	// changes the compiled program, so it is part of the result cache key.
+	Opt *int `json:"opt,omitempty"`
 	// MemMode is "wave-ordered" (default), "serialized", or "ideal".
 	MemMode string `json:"memmode,omitempty"`
 	// Policy names the placement policy (default dynamic-depth-first-snake).
@@ -87,7 +91,10 @@ type CompileRequest struct {
 	Workload   string `json:"workload,omitempty"`
 	Source     string `json:"source,omitempty"`
 	Unroll     int    `json:"unroll,omitempty"`
-	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	// Opt is the compiler optimization level: nil = the pipeline default
+	// (1, memory tier on), explicit 0 = base passes only.
+	Opt        *int  `json:"opt,omitempty"`
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // CompileResponse reports the compiled program's static shape and the
@@ -99,7 +106,15 @@ type CompileResponse struct {
 	SteerInstrs  int    `json:"steer_instrs"`
 	SelectInstrs int    `json:"select_instrs"`
 	RolledInstrs int    `json:"rolled_instrs"`
-	Cached       bool   `json:"cached"`
+	// Opt echoes the optimization level the pipeline ran at; the
+	// *_eliminated counters are the memory tier's per-pass totals (absent
+	// at opt 0).
+	Opt              int   `json:"opt"`
+	StoresForwarded  int64 `json:"stores_forwarded,omitempty"`
+	LoadsEliminated  int64 `json:"loads_eliminated,omitempty"`
+	DeadStores       int64 `json:"dead_stores,omitempty"`
+	MemOpsEliminated int64 `json:"mem_ops_eliminated,omitempty"`
+	Cached           bool  `json:"cached"`
 }
 
 // SweepRequest asks for a corpus differential sweep (a bounded, served

@@ -29,7 +29,7 @@ const (
 // simulateCacheVersion names the idempotency-cache schema for /v1/simulate
 // results; bump it when SimResult or the simulated configuration keying
 // changes meaning.
-const simulateCacheVersion = "serve-simulate-v1"
+const simulateCacheVersion = "serve-simulate-v2"
 
 // Handler mounts the API. Routes use Go 1.22+ method patterns, so wrong
 // methods 405 without hand-rolled dispatch.
@@ -280,6 +280,7 @@ type simSpec struct {
 	binary       string
 	gridW, gridH int
 	unroll       int
+	opt          int
 	memName      string
 	memMode      wavecache.MemoryMode
 	policy       string
@@ -345,6 +346,11 @@ func (s *Server) normalizeSimulate(req *SimulateRequest) (*simSpec, *ErrorRespon
 	if sp.unroll < 0 || sp.unroll > 16 {
 		return nil, invalidErr("unroll %d out of range (1 .. 16)", req.Unroll)
 	}
+	opt, apiErr := normalizeOpt(req.Opt)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	sp.opt = opt
 	sp.memName = req.MemMode
 	if sp.memName == "" {
 		sp.memName = "wave-ordered"
@@ -382,6 +388,18 @@ func (s *Server) normalizeSimulate(req *SimulateRequest) (*simSpec, *ErrorRespon
 	return sp, nil
 }
 
+// normalizeOpt applies the compile-pipeline default to an optional opt
+// level (nil = default on) and validates an explicit one.
+func normalizeOpt(opt *int) (int, *ErrorResponse) {
+	if opt == nil {
+		return harness.DefaultCompileOptions().OptLevel, nil
+	}
+	if *opt < 0 || *opt > 1 {
+		return 0, invalidErr("opt %d out of range (0 .. 1)", *opt)
+	}
+	return *opt, nil
+}
+
 // cacheKey is the idempotency-cache address of a simulate request: every
 // input that determines its SimResult, plus the engine-set and schema
 // versions. Two requests with the same key get byte-identical results —
@@ -390,16 +408,16 @@ func (sp *simSpec) cacheKey() string {
 	return harness.CacheKey(
 		simulateCacheVersion, harness.EngineSetVersion,
 		sp.src, sp.binary,
-		fmt.Sprintf("grid=%dx%d unroll=%d mem=%s policy=%s maxcycles=%d",
-			sp.gridW, sp.gridH, sp.unroll, sp.memName, sp.policy, sp.maxCycles),
+		fmt.Sprintf("grid=%dx%d unroll=%d opt=%d mem=%s policy=%s maxcycles=%d",
+			sp.gridW, sp.gridH, sp.unroll, sp.opt, sp.memName, sp.policy, sp.maxCycles),
 		fmt.Sprintf("faults=%s seed=%d", sp.faults, sp.faultSeed),
 	)
 }
 
 // compileKey addresses the warm compiled-program cache (compilation
-// depends only on source and unroll factor).
-func compileKey(src string, unroll int) string {
-	return harness.CacheKey("serve-compile", src, fmt.Sprintf("unroll=%d", unroll))
+// depends only on source, unroll factor, and optimization level).
+func compileKey(src string, unroll, opt int) string {
+	return harness.CacheKey("serve-compile", src, fmt.Sprintf("unroll=%d opt=%d", unroll, opt))
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -450,8 +468,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // WaveCache, with the request context threaded into the simulator's
 // cancellation poll.
 func (s *Server) simulate(ctx context.Context, sp *simSpec, wantMetrics bool) (*SimulateResponse, *ErrorResponse) {
-	c, _, err := s.compiled.get(ctx, compileKey(sp.src, sp.unroll), func() (*harness.Compiled, error) {
-		return harness.CompileSource(sp.name, sp.src, harness.CompileOptions{Unroll: sp.unroll})
+	c, _, err := s.compiled.get(ctx, compileKey(sp.src, sp.unroll, sp.opt), func() (*harness.Compiled, error) {
+		return harness.CompileSource(sp.name, sp.src, harness.CompileOptions{Unroll: sp.unroll, OptLevel: sp.opt})
 	})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -553,8 +571,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		if unroll < 0 || unroll > 16 {
 			return nil, false, invalidErr("unroll %d out of range (1 .. 16)", req.Unroll)
 		}
-		c, warm, err := s.compiled.get(ctx, compileKey(src, unroll), func() (*harness.Compiled, error) {
-			return harness.CompileSource(name, src, harness.CompileOptions{Unroll: unroll})
+		opt, apiErr := normalizeOpt(req.Opt)
+		if apiErr != nil {
+			return nil, false, apiErr
+		}
+		c, warm, err := s.compiled.get(ctx, compileKey(src, unroll, opt), func() (*harness.Compiled, error) {
+			return harness.CompileSource(name, src, harness.CompileOptions{Unroll: unroll, OptLevel: opt})
 		})
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -563,13 +585,18 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			return nil, false, invalidErr("compile: %v", err)
 		}
 		return &CompileResponse{
-			Workload:     name,
-			Checksum:     c.Checksum,
-			UsefulInstrs: c.UsefulInstrs,
-			SteerInstrs:  c.Wave.NumInstrs(),
-			SelectInstrs: c.WaveSel.NumInstrs(),
-			RolledInstrs: c.WaveNoUn.NumInstrs(),
-			Cached:       warm,
+			Workload:         name,
+			Checksum:         c.Checksum,
+			UsefulInstrs:     c.UsefulInstrs,
+			SteerInstrs:      c.Wave.NumInstrs(),
+			SelectInstrs:     c.WaveSel.NumInstrs(),
+			RolledInstrs:     c.WaveNoUn.NumInstrs(),
+			Opt:              c.Opt,
+			StoresForwarded:  c.MemOpt.StoresForwarded,
+			LoadsEliminated:  c.MemOpt.LoadsReused + c.MemOpt.LoadsPromoted,
+			DeadStores:       c.MemOpt.DeadStores,
+			MemOpsEliminated: c.MemOpt.MemBefore - c.MemOpt.MemAfter,
+			Cached:           warm,
 		}, warm, nil
 	})
 }

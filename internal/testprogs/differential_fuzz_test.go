@@ -41,13 +41,21 @@ func FuzzDifferential(f *testing.F) {
 		if err != nil {
 			t.Fatalf("%s: generate: %v", spec.Name(), err)
 		}
-		c, err := harness.CompileSource(spec.Name(), src, copts)
-		if err != nil {
-			t.Fatalf("%s: compile: %v\n%s", spec.Name(), err, src)
-		}
-		d := harness.RunDifferential(c, engines)
-		if !d.Pass() {
-			t.Fatalf("%s: engines disagree: %v\n%s", spec.Name(), d.Mismatches(), src)
+		// Every input is exercised at both optimizer tiers: the memory
+		// tier must be checksum-invisible, so O0 and O1 binaries both
+		// have to agree with the full engine table (and, transitively,
+		// with each other).
+		for opt := 0; opt <= 1; opt++ {
+			o := copts
+			o.OptLevel = opt
+			c, err := harness.CompileSource(spec.Name(), src, o)
+			if err != nil {
+				t.Fatalf("%s: compile at -O%d: %v\n%s", spec.Name(), opt, err, src)
+			}
+			d := harness.RunDifferential(c, engines)
+			if !d.Pass() {
+				t.Fatalf("%s at -O%d: engines disagree: %v\n%s", spec.Name(), opt, d.Mismatches(), src)
+			}
 		}
 	})
 }

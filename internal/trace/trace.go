@@ -186,6 +186,18 @@ type Metrics struct {
 	// Placement.
 	Placements uint64
 
+	// Compiler memory-optimization tier (populated at compile time by the
+	// harness, never by the simulators; summed across programs).
+	CompilePrograms  int64 // programs run through the tier
+	StoresForwarded  int64 // loads replaced by a preceding store's value
+	LoadsReused      int64 // loads replaced within a block
+	LoadsPromoted    int64 // loads replaced across block boundaries
+	DeadStores       int64 // stores deleted as overwritten
+	MemOpsEliminated int64 // net static load/store reduction
+	InstrsEliminated int64 // net static instruction reduction
+	ChainSlots       int64 // wave-ordered chain slots after optimization
+	ChainNops        int64 // MEMORY-NOP slots after optimization
+
 	// EventsDropped counts events beyond Config.MaxEvents.
 	EventsDropped uint64
 }
@@ -236,6 +248,15 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.RetryWaitCycles += o.RetryWaitCycles
 	m.PEKills += o.PEKills
 	m.Placements += o.Placements
+	m.CompilePrograms += o.CompilePrograms
+	m.StoresForwarded += o.StoresForwarded
+	m.LoadsReused += o.LoadsReused
+	m.LoadsPromoted += o.LoadsPromoted
+	m.DeadStores += o.DeadStores
+	m.MemOpsEliminated += o.MemOpsEliminated
+	m.InstrsEliminated += o.InstrsEliminated
+	m.ChainSlots += o.ChainSlots
+	m.ChainNops += o.ChainNops
 	m.EventsDropped += o.EventsDropped
 }
 
@@ -291,9 +312,38 @@ func (m *Metrics) Summary(title string) *stats.Table {
 	add("retry wait cycles", m.RetryWaitCycles)
 	add("PE kills", m.PEKills)
 	add("placements", m.Placements)
+	// Compile-tier rows appear only when the harness attributed compile
+	// stats, so pure simulation summaries are unchanged.
+	if m.CompilePrograms > 0 {
+		add("compile: programs optimized", m.CompilePrograms)
+		add("compile: stores forwarded", m.StoresForwarded)
+		add("compile: loads reused", m.LoadsReused)
+		add("compile: loads promoted", m.LoadsPromoted)
+		add("compile: dead stores", m.DeadStores)
+		add("compile: mem ops eliminated", m.MemOpsEliminated)
+		add("compile: instrs eliminated", m.InstrsEliminated)
+		add("compile: chain slots", m.ChainSlots)
+		add("compile: chain mem-nops", m.ChainNops)
+	}
 	if m.EventsDropped > 0 {
 		add("events dropped (buffer cap)", m.EventsDropped)
 	}
+	return t
+}
+
+// CompileSummary renders only the compile-tier rows — for callers that
+// aggregate compile statistics without any simulation runs.
+func (m *Metrics) CompileSummary(title string) *stats.Table {
+	t := stats.NewTable(title, "metric", "value")
+	t.AddRow("programs optimized", m.CompilePrograms)
+	t.AddRow("stores forwarded", m.StoresForwarded)
+	t.AddRow("loads reused", m.LoadsReused)
+	t.AddRow("loads promoted", m.LoadsPromoted)
+	t.AddRow("dead stores", m.DeadStores)
+	t.AddRow("mem ops eliminated", m.MemOpsEliminated)
+	t.AddRow("instrs eliminated", m.InstrsEliminated)
+	t.AddRow("chain slots", m.ChainSlots)
+	t.AddRow("chain mem-nops", m.ChainNops)
 	return t
 }
 

@@ -1,0 +1,72 @@
+package wavec
+
+import "wavescalar/internal/isa"
+
+// ChainStats summarizes the wave-ordered memory chains of a compiled
+// program: how many chain slots of each kind the backend emitted and how
+// long the static per-(function, wave) chains are. The memory-optimization
+// tier's whole purpose is to shrink these numbers, so the harness records
+// them before/after and the CLIs print them under -stats.
+type ChainStats struct {
+	// Slot counts by memory-annotation kind.
+	Loads, Stores, Nops, Calls, Ends int64
+	// Slots is the total number of wave-ordered chain slots (the sum of
+	// the per-kind counts).
+	Slots int64
+	// Chains is the number of static (function, wave) ordering chains;
+	// MaxChain the longest.
+	Chains   int64
+	MaxChain int64
+	// Instrs is the total static instruction count of the dataflow
+	// program (chain slots included).
+	Instrs int64
+}
+
+// AvgChain reports the mean static chain length.
+func (s ChainStats) AvgChain() float64 {
+	if s.Chains == 0 {
+		return 0
+	}
+	return float64(s.Slots) / float64(s.Chains)
+}
+
+// MeasureChains scans a compiled dataflow program and tallies its
+// wave-ordered memory chains.
+func MeasureChains(p *isa.Program) ChainStats {
+	var st ChainStats
+	type chainKey struct {
+		fn   int
+		wave int32
+	}
+	chains := make(map[chainKey]int64)
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		st.Instrs += int64(len(f.Instrs))
+		for i := range f.Instrs {
+			in := &f.Instrs[i]
+			switch in.Mem.Kind {
+			case isa.MemNone:
+				continue
+			case isa.MemLoad:
+				st.Loads++
+			case isa.MemStore:
+				st.Stores++
+			case isa.MemNop:
+				st.Nops++
+			case isa.MemCall:
+				st.Calls++
+			case isa.MemEnd:
+				st.Ends++
+			}
+			st.Slots++
+			chains[chainKey{fn: fi, wave: in.Wave}]++
+		}
+	}
+	st.Chains = int64(len(chains))
+	for _, n := range chains {
+		if n > st.MaxChain {
+			st.MaxChain = n
+		}
+	}
+	return st
+}

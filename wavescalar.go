@@ -30,6 +30,10 @@ import (
 	"wavescalar/internal/linear"
 	"wavescalar/internal/ooo"
 	"wavescalar/internal/placement"
+
+	// Registers the "profile-feedback" placement policy so the CLIs and
+	// PlacementPolicies expose it.
+	_ "wavescalar/internal/placemodel"
 	"wavescalar/internal/trace"
 	"wavescalar/internal/wavec"
 	"wavescalar/internal/wavecache"
@@ -44,11 +48,17 @@ type CompileConfig struct {
 	UseSelect bool
 	// Optimize enables the IR optimizer (constant folding, CSE, DCE).
 	Optimize bool
+	// OptLevel selects the optimizer tier when Optimize is set: 0 runs
+	// only the base pipeline, 1 adds the memory tier (store-to-load
+	// forwarding, redundant-load elimination, scalar replacement,
+	// dead-store elimination) — the CLIs' -O flag.
+	OptLevel int
 }
 
-// DefaultCompileConfig mirrors the experiment harness pipeline.
+// DefaultCompileConfig mirrors the experiment harness pipeline: unroll by
+// 4, full optimization including the memory tier.
 func DefaultCompileConfig() CompileConfig {
-	return CompileConfig{Unroll: 4, Optimize: true}
+	return CompileConfig{Unroll: 4, Optimize: true, OptLevel: 1}
 }
 
 // Program is a compiled wsl program, carrying both the WaveScalar dataflow
@@ -57,34 +67,50 @@ type Program struct {
 	Source   string
 	dataflow *isa.Program
 	linear   *linear.Program
+	memOpt   cfgir.MemOptStats
+	optLevel int
 }
+
+// OptStats reports the memory-optimization tier's per-pass counters for
+// the dataflow build (zero when compiled below opt level 1) and whether
+// the tier ran.
+func (p *Program) OptStats() (cfgir.MemOptStats, bool) {
+	return p.memOpt, p.optLevel >= 1
+}
+
+// ChainStats summarizes the dataflow binary's wave-ordered memory chains.
+func (p *Program) ChainStats() wavec.ChainStats { return wavec.MeasureChains(p.dataflow) }
 
 // Compile runs the full pipeline: lex/parse/check, optional unrolling, IR
 // construction and optimization, then both backends.
 func Compile(src string, cfg CompileConfig) (*Program, error) {
-	build := func() (*cfgir.Program, error) {
+	build := func() (*cfgir.Program, cfgir.MemOptStats, error) {
+		var st cfgir.MemOptStats
 		f, err := lang.ParseAndCheck(src)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
 		if cfg.Unroll > 1 {
 			lang.Unroll(f, cfg.Unroll)
 		}
 		p, err := cfgir.Build(f)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
 		for _, fn := range p.Funcs {
 			fn.Compact()
 		}
 		if cfg.Optimize {
 			p.Optimize()
+			if cfg.OptLevel >= 1 {
+				st = p.OptimizeMemory()
+			}
 		}
-		return p, nil
+		return p, st, nil
 	}
 
 	// The dataflow backend mutates the IR, so build twice.
-	irForLinear, err := build()
+	irForLinear, _, err := build()
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +118,7 @@ func Compile(src string, cfg CompileConfig) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	irForWave, err := build()
+	irForWave, memOpt, err := build()
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +126,11 @@ func Compile(src string, cfg CompileConfig) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{Source: src, dataflow: wp, linear: lp}, nil
+	lvl := 0
+	if cfg.Optimize {
+		lvl = cfg.OptLevel
+	}
+	return &Program{Source: src, dataflow: wp, linear: lp, memOpt: memOpt, optLevel: lvl}, nil
 }
 
 // Disassemble renders the WaveScalar dataflow binary as assembly text.
