@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci check vet build test race race-shards soak bench bench-base bench-cmp bench-shards bench-opt fuzz fuzz-diff corpus
+.PHONY: ci check vet build test race race-shards soak bench bench-base bench-cmp bench-shards bench-opt bench-spec fuzz fuzz-diff corpus
 
 ci: vet build test race
 
@@ -15,13 +15,14 @@ ci: vet build test race
 # fuzz smoke.
 check: vet build test race-shards soak fuzz-diff
 
-# race-shards runs just the sharded-engine tests under the race detector
-# with worker dispatch forced on (the tests pin the dispatch threshold
-# themselves), so the fast gate still exercises cross-goroutine batch
-# execution at shards >= 2. The full `make race` covers the same packages
-# exhaustively.
+# race-shards runs the sharded-engine tests plus the MemSpec speculation
+# tests under the race detector with worker dispatch forced on (the tests
+# pin the dispatch threshold themselves), so the fast gate still
+# exercises cross-goroutine batch execution at shards >= 2 and the
+# coordinator-owned speculation state alongside it. The full `make race`
+# covers the same packages exhaustively.
 race-shards:
-	$(GO) test -race -run 'TestShard' ./internal/wavecache ./internal/harness
+	$(GO) test -race -run 'TestShard|TestSpec' ./internal/wavecache ./internal/harness
 
 vet:
 	$(GO) vet ./...
@@ -57,7 +58,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/asm
 
 # fuzz-diff is the corpus-differential smoke: generated programs across
-# all workload families, each checked for agreement across all nine
+# all workload families, each checked for agreement across all ten
 # engines (see internal/testprogs/differential_fuzz_test.go).
 DIFFFUZZTIME ?= 20s
 
@@ -129,6 +130,31 @@ bench-opt:
 		> BENCH_9.json
 	rm -f bench.opt.test
 	@echo wrote BENCH_9.json
+
+# bench-spec is the speculative-memory A/B gate: one prebuilt test
+# binary, run with wave-ordered memory (WAVEMEM=wave-ordered) and
+# speculative memory (WAVEMEM=spec) in strictly interleaved passes so
+# host drift cancels (the bench-opt methodology). The regex picks tables
+# whose cells all honor the machine-wide memory mode — E4/E15 sweep modes
+# per cell and would dilute the comparison; E1b and E7 are the
+# memory-bound tables where hidden stall cycles pay. scripts/benchjson.py
+# renders the record to BENCH_10.json.
+SPECBENCHRE ?= BenchmarkE1b_|BenchmarkE7_
+SPECCOUNT ?= 5
+
+bench-spec:
+	$(GO) test -c -o bench.spec.test .
+	rm -f bench.spec0.txt bench.spec1.txt
+	for i in $$(seq $(SPECCOUNT)); do \
+		WAVEMEM=wave-ordered ./bench.spec.test -test.bench='$(SPECBENCHRE)' -test.benchtime=1x -test.benchmem -test.run='^$$' >> bench.spec0.txt || exit 1; \
+		WAVEMEM=spec ./bench.spec.test -test.bench='$(SPECBENCHRE)' -test.benchtime=1x -test.benchmem -test.run='^$$' >> bench.spec1.txt || exit 1; \
+	done
+	python3 scripts/benchjson.py bench.spec0.txt bench.spec1.txt \
+		"speculative transactional wave-ordered memory: WAVEMEM=wave-ordered (before) vs WAVEMEM=spec (after), same engine binary; simulated cycles drop on memory-bound tables, wall-clock carries the speculation bookkeeping" \
+		"WAVEMEM={wave-ordered,spec} ./bench.spec.test -test.bench='$(SPECBENCHRE)' -test.benchtime=1x -test.benchmem -test.run='^$$' (interleaved passes of one prebuilt binary)" \
+		> BENCH_10.json
+	rm -f bench.spec.test
+	@echo wrote BENCH_10.json
 
 # bench-shards compares the experiment benchmarks with the event engine
 # sequential (shards=1) vs sharded (shards=$(SHARDS)) inside every

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"wavescalar/internal/harness"
+	"wavescalar/internal/wavecache"
 )
 
 var (
@@ -55,6 +56,17 @@ func benchMachine() harness.MachineOptions {
 	// any setting; only wall-clock moves.
 	if n, err := strconv.Atoi(os.Getenv("WAVESHARDS")); err == nil && n > 0 {
 		m.Shards = n
+	}
+	// WAVEMEM sets the memory ordering mode inside every simulation cell
+	// (`make bench-spec` drives it with wave-ordered and spec for the A/B).
+	// Experiments that sweep memory modes themselves (E4, E15) override it
+	// per cell and are insensitive to it.
+	if v := os.Getenv("WAVEMEM"); v != "" {
+		mode, err := wavecache.ParseMemoryMode(v)
+		if err != nil {
+			panic(err)
+		}
+		m.MemMode = mode
 	}
 	return m
 }
@@ -129,6 +141,11 @@ func BenchmarkE12_FaultInjection(b *testing.B) { runExperiment(b, "E12") }
 // it is insensitive to WAVEOPT — measure it for its own wall-clock, not
 // in the bench-opt A/B.
 func BenchmarkE14_OptFeedback(b *testing.B) { runExperiment(b, "E14") }
+
+// BenchmarkE15_SpecScope regenerates the speculation-scope sweep. Like
+// E4 it sets its memory modes per cell, so it sits outside the WAVEMEM
+// A/B — measure it for its own wall-clock.
+func BenchmarkE15_SpecScope(b *testing.B) { runExperiment(b, "E15") }
 
 // benchExperimentWorkers reports the harness wall-clock for one
 // experiment at a fixed worker count; comparing the Sequential and

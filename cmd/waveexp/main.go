@@ -18,7 +18,7 @@
 //
 // -corpus N switches to experiment E13: N generated workload programs
 // (seeded by -corpus-seed, round-robin across the testprogs corpus
-// families) each differentially verified across all nine engines and
+// families) each differentially verified across all ten engines and
 // aggregated into a per-family pass-rate and AIPC table. With -cache-dir
 // the sweep is resumable (-resume skips cells whose cached result
 // validates) and shardable (-shard k/n computes every n-th cell starting
@@ -41,6 +41,7 @@ import (
 	"wavescalar/internal/cli"
 	"wavescalar/internal/harness"
 	"wavescalar/internal/trace"
+	"wavescalar/internal/wavecache"
 	"wavescalar/internal/workloads"
 )
 
@@ -54,6 +55,8 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "worker goroutines for compilation and simulation cells (1 = sequential)")
 	engineShards := flag.Int("shards", 0,
 		"event-engine shards inside each simulation (0 or 1 = sequential; distinct from -shard, which splits corpus cells); results are bit-identical at every setting")
+	memName := flag.String("mem", "",
+		"memory ordering for cells that do not sweep modes themselves: wave-ordered (default), serialized, ideal, spec")
 	metrics := flag.Bool("metrics", false,
 		"aggregate WaveCache trace metrics across each experiment's cells and print a summary table after it")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (go tool pprof format) to this file")
@@ -144,6 +147,11 @@ func main() {
 	m := harness.DefaultMachineOptions()
 	m.Workers = *jobs
 	m.Shards = *engineShards
+	if mm, err := wavecache.ParseMemoryMode(*memName); err != nil {
+		fatal(err)
+	} else {
+		m.MemMode = mm
+	}
 	if *metrics {
 		m.Metrics = trace.NewAggregate()
 	}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	wavesim [-grid 4x4] [-placement dynamic-depth-first-snake]
-//	        [-memmode wave-ordered] [-density 16] [-queue 64]
+//	        [-mem wave-ordered|serialized|ideal|spec] [-density 16] [-queue 64]
 //	        [-faults defect=0.05,drop=0.01] [-fault-seed 1] [-max-cycles N]
 //	        [-trace events.jsonl] [-trace-chrome trace.json] [-metrics]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
@@ -36,7 +36,8 @@ func main() {
 	grid := flag.String("grid", "4x4", "cluster grid, WxH")
 	pol := flag.String("placement", "dynamic-depth-first-snake",
 		"placement policy: "+strings.Join(wavescalar.PlacementPolicies(), ", "))
-	memmode := flag.String("memmode", "wave-ordered", "memory ordering: wave-ordered, serialized, ideal")
+	memFlag := flag.String("mem", "", "memory ordering: wave-ordered (default), serialized, ideal, spec")
+	memmode := flag.String("memmode", "", "alias for -mem (kept for existing scripts)")
 	density := flag.Int("density", 16, "instruction homes packed per PE")
 	queue := flag.Int("queue", 64, "PE matching-table capacity")
 	unroll := flag.Int("unroll", 4, "loop unrolling factor")
@@ -89,12 +90,16 @@ func main() {
 			SampleInterval: *sample,
 		})
 	}
+	mem := *memFlag
+	if mem == "" {
+		mem = *memmode
+	}
 	res, err := prog.Simulate(wavescalar.SimConfig{
 		GridW: w, GridH: h,
 		Placement:  *pol,
 		Density:    *density,
 		InputQueue: *queue,
-		MemoryMode: *memmode,
+		MemoryMode: mem,
 		MaxCycles:  *maxCycles,
 		Faults:     *faults,
 		FaultSeed:  *faultSeed,

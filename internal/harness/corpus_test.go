@@ -21,7 +21,7 @@ func corpusOptions(n int, workers int) CorpusOptions {
 
 // TestCorpusDifferentialAgreement is the generator-correctness
 // acceptance sweep: 200 seeds per family (the full corpus round-robins
-// the families) must compile and agree across all nine engines, with the
+// the families) must compile and agree across all ten engines, with the
 // WaveCache watchdog bounding every cell.
 func TestCorpusDifferentialAgreement(t *testing.T) {
 	if testing.Short() {

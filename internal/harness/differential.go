@@ -16,7 +16,7 @@ import (
 // pipeline change), and stale cached cells stop matching instead of
 // silently polluting resumed sweeps. Being a source constant, the version
 // is visible in git history alongside the change that required the bump.
-const EngineSetVersion = "engines-v2"
+const EngineSetVersion = "engines-v3"
 
 // EngineRun is one engine's observation of a program: the final checksum
 // every engine must agree on, and — for the timing engines — the
@@ -34,8 +34,8 @@ type Engine struct {
 
 // Engines is the single authoritative engine table: the AST evaluator,
 // the linear emulator, the dataflow interpreter on all three compiled
-// binaries, the WaveCache timing simulator in all three memory modes, and
-// the out-of-order baseline — nine engines. The differential test, the
+// binaries, the WaveCache timing simulator in all four memory modes, and
+// the out-of-order baseline — ten engines. The differential test, the
 // FuzzDifferential target, and the waveexp corpus sweep all share this
 // definition, so the engine list cannot drift between test and
 // production.
@@ -76,6 +76,7 @@ func Engines(m MachineOptions) []Engine {
 		{"wavecache-" + wavecache.MemOrdered.String(), waveEngine(wavecache.MemOrdered)},
 		{"wavecache-" + wavecache.MemSerial.String(), waveEngine(wavecache.MemSerial)},
 		{"wavecache-" + wavecache.MemIdeal.String(), waveEngine(wavecache.MemIdeal)},
+		{"wavecache-" + wavecache.MemSpec.String(), waveEngine(wavecache.MemSpec)},
 		{"ooo", func(c *Compiled) (EngineRun, error) {
 			res, err := ooo.Run(c.Linear, DefaultOoOConfig())
 			return EngineRun{Value: res.Value, Cycles: res.Cycles}, err

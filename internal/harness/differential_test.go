@@ -29,7 +29,7 @@ func fullSet(t *testing.T) []*Compiled {
 // every workload, every execution engine in the repo — the shared
 // Engines() table: the AST evaluator, the linear emulator, the dataflow
 // interpreter (on all three compiled binaries), the WaveCache timing
-// simulator (in all three memory modes), and the out-of-order baseline —
+// simulator (in all four memory modes), and the out-of-order baseline —
 // must agree on the final checksum.
 func TestDifferentialChecksums(t *testing.T) {
 	if testing.Short() {
@@ -37,8 +37,8 @@ func TestDifferentialChecksums(t *testing.T) {
 	}
 	set := fullSet(t)
 	engines := Engines(quickMachine())
-	if len(engines) != 9 {
-		t.Fatalf("engine table has %d engines, want 9", len(engines))
+	if len(engines) != 10 {
+		t.Fatalf("engine table has %d engines, want 10", len(engines))
 	}
 
 	for _, c := range set {

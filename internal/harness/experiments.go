@@ -226,8 +226,9 @@ func runE3(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 
 func runE4(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 	t := stats.NewTable("E4: AIPC by memory ordering strategy",
-		"bench", "wave-ordered", "serialized", "oracle", "ordered/serial", "oracle/ordered")
-	modes := []wavecache.MemoryMode{wavecache.MemOrdered, wavecache.MemSerial, wavecache.MemIdeal}
+		"bench", "serialized", "wave-ordered", "speculative", "oracle",
+		"ordered/serial", "spec/ordered", "oracle/spec")
+	modes := []wavecache.MemoryMode{wavecache.MemSerial, wavecache.MemOrdered, wavecache.MemSpec, wavecache.MemIdeal}
 	cycles := make([]int64, len(set)*len(modes))
 	cells := newCellSet(m)
 	for bi, c := range set {
@@ -248,19 +249,25 @@ func runE4(set []*Compiled, m MachineOptions) (*stats.Table, error) {
 	if err := cells.run(); err != nil {
 		return nil, err
 	}
-	var ratios []float64
+	var ordSer, specOrd []float64
 	for bi, c := range set {
 		cy := cycles[bi*len(modes) : (bi+1)*len(modes)]
-		r := float64(cy[1]) / float64(cy[0])
-		ratios = append(ratios, r)
+		serial, ordered, spec, oracle := cy[0], cy[1], cy[2], cy[3]
+		rs := float64(serial) / float64(ordered)
+		ro := float64(ordered) / float64(spec)
+		ordSer = append(ordSer, rs)
+		specOrd = append(specOrd, ro)
 		t.AddRow(c.Name,
-			AIPC(c.UsefulInstrs, cy[0]),
-			AIPC(c.UsefulInstrs, cy[1]),
-			AIPC(c.UsefulInstrs, cy[2]),
-			r,
-			float64(cy[0])/float64(cy[2]))
+			AIPC(c.UsefulInstrs, serial),
+			AIPC(c.UsefulInstrs, ordered),
+			AIPC(c.UsefulInstrs, spec),
+			AIPC(c.UsefulInstrs, oracle),
+			rs,
+			ro,
+			float64(spec)/float64(oracle))
 	}
-	t.Note = fmt.Sprintf("geomean speedup of wave-ordered over serialized memory: %.2fx", stats.GeoMean(ratios))
+	t.Note = fmt.Sprintf("geomean speedup: wave-ordered over serialized %.2fx, speculative over wave-ordered %.2fx",
+		stats.GeoMean(ordSer), stats.GeoMean(specOrd))
 	return t, nil
 }
 

@@ -261,6 +261,11 @@ type MachineOptions struct {
 	// default — leaves the simulators' tracing disabled and all tables
 	// byte-identical to a metrics-free build.
 	Metrics *trace.Aggregate
+	// MemMode is the memory ordering mode handed to every WaveCache cell
+	// that does not pin its own (the CLI -mem flag). The zero value is
+	// the default wave-ordered mode; experiments that sweep modes
+	// themselves (E4, E15) override it per cell.
+	MemMode wavecache.MemoryMode
 	// Shards is the per-simulation event-engine shard count handed to
 	// every WaveCache cell (wavecache.Config.Shards): 0 or 1 runs the
 	// sequential engine, higher values partition the clusters into
@@ -290,6 +295,7 @@ func (m MachineOptions) WaveConfig() wavecache.Config {
 	cfg.InputQueue = m.InputQueue
 	cfg.Metrics = m.Metrics
 	cfg.MaxCycles = m.MaxCycles
+	cfg.MemMode = m.MemMode
 	cfg.Shards = m.Shards
 	if m.Ctx != nil {
 		cfg.Cancel = m.Ctx.Done()

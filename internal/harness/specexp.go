@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"fmt"
+
+	"wavescalar/internal/stats"
+	"wavescalar/internal/wavecache"
+)
+
+func init() {
+	Experiments = append(Experiments, Experiment{
+		ID:    "E15",
+		Title: "Speculation scope: transaction-epoch size under MemSpec",
+		Claim: "per-wave epochs catch conflicts cheaply; widening the scope amortizes epoch bookkeeping but squashes more innocent work per violation, so AIPC degrades as squash cost grows faster than the bookkeeping it saves",
+		Run:   runE15,
+	})
+}
+
+// runE15 sweeps the MemSpec transaction scope (waves per epoch) and
+// reports AIPC next to the squash rate — the fraction of epochs that hit
+// a conflict and replayed their speculative remainder. The wave-ordered
+// AIPC anchors each row: speculation at any scope should sit at or above
+// it (the thrash fallback's contract), and the headroom it captures
+// shrinks as squashes widen. Checksums are verified on every cell
+// (RunWave), so a speculation bug fails the experiment rather than
+// skewing it.
+func runE15(set []*Compiled, m MachineOptions) (*stats.Table, error) {
+	scopes := []int{1, 2, 4, 8}
+	headers := []string{"bench", "ordered"}
+	for _, sc := range scopes {
+		headers = append(headers, fmt.Sprintf("aipc@%d", sc), fmt.Sprintf("sq%%@%d", sc))
+	}
+	t := stats.NewTable("E15: AIPC and squash rate vs. speculation scope (waves per epoch)", headers...)
+
+	type cell struct {
+		cycles int64
+		spec   wavecache.SpecStats
+	}
+	ordered := make([]int64, len(set))
+	grid := make([]cell, len(set)*len(scopes))
+	cells := newCellSet(m)
+	for bi, c := range set {
+		cells.add(func() error {
+			res, err := runWaveWith(c, c.Wave, m, m.WaveConfig())
+			if err != nil {
+				return err
+			}
+			ordered[bi] = res.Cycles
+			return nil
+		})
+		for si, scope := range scopes {
+			slot := bi*len(scopes) + si
+			cells.add(func() error {
+				cfg := m.WaveConfig()
+				cfg.MemMode = wavecache.MemSpec
+				cfg.SpecScope = scope
+				res, err := runWaveWith(c, c.Wave, m, cfg)
+				if err != nil {
+					return err
+				}
+				grid[slot] = cell{cycles: res.Cycles, spec: res.Spec}
+				return nil
+			})
+		}
+	}
+	if err := cells.run(); err != nil {
+		return nil, err
+	}
+	for bi, c := range set {
+		row := []any{c.Name, AIPC(c.UsefulInstrs, ordered[bi])}
+		for si := range scopes {
+			g := &grid[bi*len(scopes)+si]
+			sq := 0.0
+			if g.spec.Epochs > 0 {
+				sq = 100 * float64(g.spec.Squashes) / float64(g.spec.Epochs)
+			}
+			row = append(row, AIPC(c.UsefulInstrs, g.cycles), sq)
+		}
+		t.AddRow(row...)
+	}
+	t.Note = "sq% = squashed epochs / opened epochs; scope 1 is the Transactional WaveCache's per-wave implicit transaction"
+	return t, nil
+}

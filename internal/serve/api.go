@@ -30,7 +30,8 @@ type SimulateRequest struct {
 	// (1, memory tier on), explicit 0 = base passes only. Unlike Shards it
 	// changes the compiled program, so it is part of the result cache key.
 	Opt *int `json:"opt,omitempty"`
-	// MemMode is "wave-ordered" (default), "serialized", or "ideal".
+	// MemMode is "wave-ordered" (default), "serialized", "ideal", or
+	// "spec" (speculative transactional wave-ordered memory).
 	MemMode string `json:"memmode,omitempty"`
 	// Policy names the placement policy (default dynamic-depth-first-snake).
 	Policy string `json:"policy,omitempty"`

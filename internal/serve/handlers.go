@@ -362,8 +362,10 @@ func (s *Server) normalizeSimulate(req *SimulateRequest) (*simSpec, *ErrorRespon
 		sp.memMode = wavecache.MemSerial
 	case "ideal":
 		sp.memMode = wavecache.MemIdeal
+	case "spec":
+		sp.memMode = wavecache.MemSpec
 	default:
-		return nil, invalidErr("unknown memmode %q (wave-ordered, serialized, ideal)", req.MemMode)
+		return nil, invalidErr("unknown memmode %q (wave-ordered, serialized, ideal, spec)", req.MemMode)
 	}
 	sp.policy = req.Policy
 	if sp.policy == "" {

@@ -111,6 +111,8 @@ func directResult(t *testing.T, req SimulateRequest, maxCycles int64) SimResult 
 		cfg.MemMode = wavecache.MemSerial
 	case "ideal":
 		cfg.MemMode = wavecache.MemIdeal
+	case "spec":
+		cfg.MemMode = wavecache.MemSpec
 	}
 	if req.Faults != "" {
 		fc, err := fault.ParseSpec(req.Faults)
@@ -173,6 +175,8 @@ func TestSimulateMatchesDirectHarness(t *testing.T) {
 		{Source: fastSrc, Binary: "rolled", Unroll: 1},
 		{Source: fastSrc, Grid: "2x2", MemMode: "serialized"},
 		{Source: fastSrc, MemMode: "ideal", Metrics: true},
+		{Source: fastSrc, MemMode: "spec"},
+		{Workload: "gen:contention:5", Grid: "2x2", MemMode: "spec"},
 		{Workload: "gen:pipeline:7", Grid: "2x2"},
 		{Source: fastSrc, Faults: "defect=0.1,drop=0.005", FaultSeed: 42},
 	}

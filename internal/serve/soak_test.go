@@ -69,6 +69,7 @@ func TestSoak(t *testing.T) {
 		{Source: fastSrc, Binary: "rolled", Unroll: 1, MemMode: "serialized"},
 		{Workload: "gen:pipeline:7", Grid: "2x2"},
 		{Workload: "gen:contention:3", MemMode: "ideal"},
+		{Workload: "gen:contention:9", MemMode: "spec"},
 		{Source: fastSrc, Faults: "defect=0.1,drop=0.01", FaultSeed: 7},
 	}
 	want := make([]string, len(simReqs))

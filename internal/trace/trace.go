@@ -59,6 +59,19 @@ const (
 	KindDrop
 	// KindKill: a PE died mid-run.
 	KindKill
+	// KindSpecIssue: a memory request issued speculatively past
+	// unresolved wave-order predecessors (A = 1 if forwarded from the
+	// versioned store buffer, B = speculative access latency).
+	KindSpecIssue
+	// KindSpecConflict: a speculative access failed commit-time
+	// validation (A = memory-op kind).
+	KindSpecConflict
+	// KindSpecSquash: an epoch was squashed after its first conflict
+	// (A = context, B = wave number).
+	KindSpecSquash
+	// KindSpecReplay: a squashed or conflicting access re-executed at
+	// its wave-order commit point (A = replay latency).
+	KindSpecReplay
 )
 
 var kindNames = [...]string{
@@ -70,9 +83,13 @@ var kindNames = [...]string{
 	KindMemSubmit: "mem-submit",
 	KindMemIssue:  "mem-issue",
 	KindWaveDone:  "wave-done",
-	KindRetry:     "retry",
-	KindDrop:      "drop",
-	KindKill:      "kill",
+	KindRetry:        "retry",
+	KindDrop:         "drop",
+	KindKill:         "kill",
+	KindSpecIssue:    "spec-issue",
+	KindSpecConflict: "spec-conflict",
+	KindSpecSquash:   "spec-squash",
+	KindSpecReplay:   "spec-replay",
 }
 
 func (k Kind) String() string {
@@ -178,6 +195,15 @@ type Metrics struct {
 	MaxPending              int64
 	WavesDone               uint64
 
+	// Speculative memory (MemSpec mode only; zero elsewhere).
+	SpecIssued       uint64 // requests issued past unresolved predecessors
+	SpecForwards     uint64 // loads forwarded from the versioned store buffer
+	SpecConflicts    uint64 // commit-time validation failures
+	SpecSquashes     uint64 // epochs squashed
+	SpecReplayedOps  uint64 // accesses re-executed at their commit point
+	SpecCycles       int64  // cache latency of speculative accesses
+	SpecReplayCycles int64  // cache latency charged again by replays
+
 	// Fault recovery.
 	Drops, Retries  uint64
 	RetryWaitCycles uint64
@@ -243,6 +269,13 @@ func (m *Metrics) Merge(o *Metrics) {
 		m.MaxPending = o.MaxPending
 	}
 	m.WavesDone += o.WavesDone
+	m.SpecIssued += o.SpecIssued
+	m.SpecForwards += o.SpecForwards
+	m.SpecConflicts += o.SpecConflicts
+	m.SpecSquashes += o.SpecSquashes
+	m.SpecReplayedOps += o.SpecReplayedOps
+	m.SpecCycles += o.SpecCycles
+	m.SpecReplayCycles += o.SpecReplayCycles
 	m.Drops += o.Drops
 	m.Retries += o.Retries
 	m.RetryWaitCycles += o.RetryWaitCycles
@@ -307,6 +340,22 @@ func (m *Metrics) Summary(title string) *stats.Table {
 	add("ordering stall cycles", m.OrderStallCycles)
 	add("max store-buffer pending", m.MaxPending)
 	add("waves completed", m.WavesDone)
+	// Speculation rows appear only for MemSpec runs, so the default
+	// wave-ordered summaries are unchanged.
+	if m.SpecIssued > 0 {
+		add("spec: issued speculatively", m.SpecIssued)
+		add("spec: store-buffer forwards", m.SpecForwards)
+		add("spec: conflicts", m.SpecConflicts)
+		add("spec: squashes", m.SpecSquashes)
+		add("spec: replayed ops", m.SpecReplayedOps)
+		add("spec: speculative cycles", m.SpecCycles)
+		add("spec: replayed cycles", m.SpecReplayCycles)
+		if m.SpecCycles > 0 {
+			add("spec: wasted-work ratio",
+				fmt.Sprintf("%.4f", float64(m.SpecReplayCycles)/float64(m.SpecCycles)))
+		}
+	}
+
 	add("message drops", m.Drops)
 	add("message retries", m.Retries)
 	add("retry wait cycles", m.RetryWaitCycles)
@@ -682,6 +731,58 @@ func (t *Tracer) WaveDone(tm int64, ctx, wave uint32) {
 	t.touch(tm)
 	t.m.WavesDone++
 	t.event(tm, KindWaveDone, -1, int64(ctx), int64(wave))
+}
+
+// SpecIssue records a memory request issuing speculatively past
+// unresolved wave-order predecessors; forwarded marks a load satisfied
+// from the versioned store buffer, lat the speculative access latency.
+func (t *Tracer) SpecIssue(tm int64, forwarded bool, lat int64) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.SpecIssued++
+	fwd := int64(0)
+	if forwarded {
+		t.m.SpecForwards++
+		fwd = 1
+	} else {
+		t.m.SpecCycles += lat
+	}
+	t.event(tm, KindSpecIssue, -1, fwd, lat)
+}
+
+// SpecConflict records one speculative access failing its commit-time
+// validation.
+func (t *Tracer) SpecConflict(tm int64, memKind int) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.SpecConflicts++
+	t.event(tm, KindSpecConflict, -1, int64(memKind), 0)
+}
+
+// SpecSquash records an epoch squashing after its first conflict.
+func (t *Tracer) SpecSquash(tm int64, ctx, wave uint32) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.SpecSquashes++
+	t.event(tm, KindSpecSquash, -1, int64(ctx), int64(wave))
+}
+
+// SpecReplay records a conflicting or squashed access re-executing at
+// its wave-order commit point, paying lat cache cycles again.
+func (t *Tracer) SpecReplay(tm int64, lat int64) {
+	if t == nil {
+		return
+	}
+	t.touch(tm)
+	t.m.SpecReplayedOps++
+	t.m.SpecReplayCycles += lat
+	t.event(tm, KindSpecReplay, -1, lat, 0)
 }
 
 // Retry records a retransmit after a lost message (wait = ack-timeout

@@ -341,6 +341,22 @@ func (s *sim) runPar() error {
 				break
 			}
 		}
+		// A batch of nothing but dead deferred-speculation probes must
+		// not advance the clock — the sequential engine drops each such
+		// probe before its time bookkeeping. Liveness cannot change
+		// inside an all-probe batch (only memory issues kill cookies, and
+		// probes never issue), so this collection-time scan matches the
+		// per-pop sequential decision exactly.
+		live := false
+		for i := range rt.batch {
+			if e := &rt.batch[i]; e.kind != evSpecProbe || s.specProbeLive(e) {
+				live = true
+				break
+			}
+		}
+		if !live {
+			continue
+		}
 		if t > s.now {
 			s.now = t
 		}

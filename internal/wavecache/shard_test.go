@@ -114,7 +114,7 @@ func TestShardMemoryModeInvariance(t *testing.T) {
 				forceDispatch(t)
 			}
 			for _, p := range progs {
-				for _, mode := range []MemoryMode{MemOrdered, MemSerial, MemIdeal} {
+				for _, mode := range []MemoryMode{MemOrdered, MemSerial, MemIdeal, MemSpec} {
 					base, baseMem := run(t, p.src, mode, 1)
 					for _, n := range []int{2, 4} {
 						res, mem := run(t, p.src, mode, n)

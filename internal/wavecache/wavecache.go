@@ -66,6 +66,16 @@ const (
 	// MemIdeal is an oracle memory: values still obey program order, but
 	// loads are timed as if ordering were free.
 	MemIdeal
+	// MemSpec is speculative transactional wave-ordered memory (the
+	// Transactional WaveCache): requests stalled behind unresolved
+	// wave-order predecessors access the cache speculatively on arrival,
+	// stores buffering their values in a versioned store buffer; a
+	// conflict detector validates each speculation at its program-order
+	// commit point and squashes + replays the enclosing epoch (a group of
+	// Config.SpecScope waves) on a violation. Architectural values always
+	// commit in program order, so results are bit-identical to MemOrdered;
+	// only timing changes. See DESIGN.md §12.
+	MemSpec
 )
 
 func (m MemoryMode) String() string {
@@ -76,8 +86,27 @@ func (m MemoryMode) String() string {
 		return "serialized"
 	case MemIdeal:
 		return "ideal"
+	case MemSpec:
+		return "spec"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseMemoryMode maps a memory-mode name (the CLI -mem flag and the
+// serve API's memmode field) to its MemoryMode. The empty string selects
+// the default wave-ordered mode.
+func ParseMemoryMode(name string) (MemoryMode, error) {
+	switch name {
+	case "", "wave-ordered":
+		return MemOrdered, nil
+	case "serialized":
+		return MemSerial, nil
+	case "ideal":
+		return MemIdeal, nil
+	case "spec":
+		return MemSpec, nil
+	}
+	return MemOrdered, fmt.Errorf("unknown memory mode %q (wave-ordered, serialized, ideal, spec)", name)
 }
 
 // Config parameterizes the machine.
@@ -108,6 +137,13 @@ type Config struct {
 	Mem mem.SystemConfig
 
 	MemMode MemoryMode
+
+	// SpecScope is the transaction-epoch size under MemSpec, in
+	// consecutive waves per context (0 = 1, the per-wave epoch of the
+	// Transactional WaveCache's implicit transactions). Larger scopes
+	// amortize epoch bookkeeping but squash more work per conflict
+	// (experiment E15). Ignored by the other memory modes.
+	SpecScope int
 
 	// Fuel bounds fired instructions (0 = 200M).
 	Fuel int64
@@ -194,6 +230,7 @@ type Result struct {
 	Mem    mem.Stats
 	Order  waveorder.Stats
 	Faults fault.Stats
+	Spec   SpecStats
 }
 
 // cancelPollInterval is how many events the run loop processes between
@@ -209,6 +246,7 @@ const (
 	evToken evKind = iota
 	evFire
 	evMemArrive
+	evSpecProbe // MemSpec deferred-speculation probe (spec.go)
 )
 
 type event struct {
@@ -219,10 +257,12 @@ type event struct {
 	fn   isa.FuncID
 	dest isa.Dest
 	tag  isa.Tag
-	val  int64
+	val  int64    // evSpecProbe reuses this for the packed (gen, cookie)
 	vals [3]int64 // evFire operands
 
-	// evMemArrive payload.
+	// evMemArrive / evSpecProbe payload. A probe's req pointer is only
+	// dereferenced after its cookie generation check proves the request
+	// is still buffered in the ordering engine.
 	req *waveorder.Request
 }
 
@@ -573,6 +613,22 @@ type memCookie struct {
 	arrive int64 // cycle the request reached its store buffer
 	pe     int
 	buf    int // store-buffer cluster bound at submit time
+
+	// Speculation state (MemSpec only; zero otherwise). spec classifies
+	// how the request executed ahead of its commit point, specDone is the
+	// speculative completion time, specSnap the conflict-detector
+	// snapshot a load validates against, specUID the forwarding store's
+	// uid (loads) or the request's own versioned-store-buffer entry
+	// (stores), specEp the enclosing epoch's slab index. gen is the
+	// cookie's liveness stamp: a deferred-speculation probe only acts
+	// when the generation it captured at arrival still matches (issueMem
+	// zeroes it), so a probe can never touch a recycled cookie.
+	spec     uint8
+	gen      uint32
+	specDone int64
+	specSnap uint32
+	specUID  uint32
+	specEp   int32
 }
 
 // tagKey packs a dynamic tag into a table key.
@@ -655,6 +711,15 @@ type sim struct {
 	// has issued.
 	ckSlab  tagtable.Slab[memCookie]
 	reqFree []*waveorder.Request
+	// ckGen stamps each cookie with a run-unique generation (MemSpec
+	// probe liveness; see memCookie.gen). Memory fires are coordinator-
+	// owned, so the counter needs no synchronization.
+	ckGen uint32
+
+	// spec is the MemSpec speculation subsystem (spec.go): versioned
+	// store buffer, per-epoch address sets, conflict detector, thrash
+	// fallback. Quiescent in every other mode.
+	spec specState
 
 	fuel   int64
 	done   bool
@@ -845,6 +910,7 @@ func (s *sim) reset(p *isa.Program, pol placement.Policy, cfg Config) error {
 	s.ctxSlab.Reset()
 	s.waveBuf.Reset()
 	s.ckSlab.Reset()
+	s.ckGen = 0
 
 	s.tr = cfg.Tracer
 	if s.tr == nil && cfg.Metrics != nil {
@@ -931,6 +997,15 @@ func (s *sim) reset(p *isa.Program, pol placement.Policy, cfg Config) error {
 		s.engine.Reset(0)
 	}
 	s.engine.AttachTracer(s.tr, s.clock)
+	if cfg.MemMode == MemSpec {
+		s.spec.reset(cfg.SpecScope)
+		s.engine.SetRetireHooks(s.specWaveRetire, s.specCtxEnd)
+	} else {
+		// A reused Arena may carry counters from an earlier MemSpec run;
+		// Result.Spec must read zero outside spec mode.
+		s.spec.st = SpecStats{}
+		s.engine.SetRetireHooks(nil, nil)
+	}
 	return nil
 }
 
@@ -983,6 +1058,7 @@ func (s *sim) run() (Result, error) {
 	s.res.Net = s.net.Stats()
 	s.res.Mem = s.memsys.Stats()
 	s.res.Order = s.engine.Stats()
+	s.res.Spec = s.spec.st
 	if s.nsh > 1 && s.par != nil {
 		// Fold the shard workers' network stats and metrics-only tracers
 		// into the run's; every merge is a commutative sum or max, so the
@@ -1046,6 +1122,12 @@ func (s *sim) runSeq() error {
 		if maxCycles > 0 && e.time > maxCycles {
 			return s.watchdogErr(e.time)
 		}
+		if e.kind == evSpecProbe && !s.specProbeLive(&e) {
+			// A probe whose request already issued is a no-op; dropping
+			// it before the clock bookkeeping keeps dead probes queued
+			// past the last real event from padding the cycle count.
+			continue
+		}
 		if e.time > s.now {
 			s.now = e.time
 		}
@@ -1075,12 +1157,43 @@ func (s *sim) processEvent(e *event) error {
 		return nil
 	case evFire:
 		return s.fire(e)
-	default: // evMemArrive
+	case evMemArrive:
+		if s.cfg.MemMode == MemSpec {
+			// The arrival either issues synchronously inside Submit (its
+			// ordering chain was already resolved — issueMem clears the
+			// marker) or buffers behind unresolved predecessors, in which
+			// case a deferred-speculation probe is scheduled: the request
+			// speculates only if it is still waiting specDelay cycles
+			// from now (spec.go).
+			s.spec.arriving = int32(e.req.Cookie)
+			req := e.req
+			if err := s.engine.Submit(req); err != nil {
+				return err
+			}
+			if s.spec.arriving >= 0 {
+				s.pushSpecProbe(s.now+specDelay, req)
+				s.spec.arriving = -1
+			}
+			return s.memErr
+		}
 		if err := s.engine.Submit(e.req); err != nil {
 			return err
 		}
 		return s.memErr
+	default: // evSpecProbe
+		if s.specProbeLive(e) {
+			s.specArrival(e.req)
+		}
+		return nil
 	}
+}
+
+// specProbeLive reports whether a deferred-speculation probe's request is
+// still buffered in the ordering engine: its cookie generation must match
+// the one captured at arrival (issueMem zeroes it at issue, and slab
+// reuse re-stamps it with a fresh generation).
+func (s *sim) specProbeLive(e *event) bool {
+	return s.ckSlab.At(int32(uint32(uint64(e.val)))).gen == uint32(uint64(e.val)>>32)
 }
 
 func (s *sim) cancelErr() error {
@@ -1150,6 +1263,26 @@ func (s *sim) pushMem(sh int32, t int64, req *waveorder.Request) {
 	i := q.alloc()
 	e := &q.slab[i]
 	e.time, e.kind, e.req = t, evMemArrive, req
+	q.push(i, t, s.seq)
+	s.seq++
+}
+
+// pushSpecProbe schedules a deferred-speculation probe for a buffered
+// request (MemSpec only, so never in a back-dating configuration). Queue
+// membership never affects ordering, so probes always board queue 0; the
+// packed (generation, cookie) rides the val field.
+func (s *sim) pushSpecProbe(t int64, req *waveorder.Request) {
+	ci := int32(req.Cookie)
+	pv := int64(uint64(s.ckSlab.At(ci).gen)<<32 | uint64(uint32(ci)))
+	if st := s.stage; st != nil {
+		st.evs = append(st.evs, stagedEv{pos: st.pos, shard: 0,
+			e: event{time: t, kind: evSpecProbe, val: pv, req: req}})
+		return
+	}
+	q := &s.qs[0]
+	i := q.alloc()
+	e := &q.slab[i]
+	e.time, e.kind, e.val, e.req = t, evSpecProbe, pv, req
 	q.push(i, t, s.seq)
 	s.seq++
 }
@@ -1382,6 +1515,10 @@ func (s *sim) diagnose() string {
 	}
 	b.WriteString("  wave-ordering state: ")
 	b.WriteString(s.engine.DebugState())
+	if s.cfg.MemMode == MemSpec {
+		b.WriteString("\n  speculation state: ")
+		b.WriteString(s.specDebugState())
+	}
 	return b.String()
 }
 
@@ -1415,7 +1552,8 @@ func (s *sim) submitMem(pe int, fn isa.FuncID, id isa.InstrID, in *isa.Instructi
 		return err
 	}
 	ci := s.ckSlab.Alloc()
-	*s.ckSlab.At(ci) = memCookie{fn: fn, id: id, tag: tag, fireAt: t, arrive: arr, pe: pe, buf: buf}
+	s.ckGen++
+	*s.ckSlab.At(ci) = memCookie{fn: fn, id: id, tag: tag, fireAt: t, arrive: arr, pe: pe, buf: buf, gen: s.ckGen}
 	req := s.allocReq()
 	*req = waveorder.Request{
 		Ctx: tag.Ctx, Wave: tag.Wave,
@@ -1532,6 +1670,17 @@ func (s *sim) fire(e *event) error {
 func (s *sim) issueMem(r *waveorder.Request) {
 	ci := int32(r.Cookie)
 	ck := *s.ckSlab.At(ci)
+	if s.cfg.MemMode == MemSpec {
+		// Dead-stamp the cookie so any pending deferred-speculation probe
+		// for this request sees it gone (generations start at 1).
+		s.ckSlab.At(ci).gen = 0
+		if ci == s.spec.arriving {
+			// The request the coordinator is submitting right now issued
+			// synchronously — it never buffered, so there is nothing to
+			// speculate on (see processEvent's evMemArrive branch).
+			s.spec.arriving = -1
+		}
+	}
 	s.ckSlab.Release(ci)
 	buf := ck.buf
 	// The ordering stall is how long the request sat buffered waiting for
@@ -1540,20 +1689,25 @@ func (s *sim) issueMem(r *waveorder.Request) {
 	s.tr.MemIssue(s.now, int(r.Kind), s.now-ck.arrive)
 	switch r.Kind {
 	case isa.MemLoad:
-		start := s.bufIssueTime(buf)
-		ar := s.memsys.Access(buf, clampAddr(r.Addr, len(s.memImage)), false)
-		done := start + ar.Latency
-		if s.cfg.MemMode == MemIdeal {
-			// Oracle ordering: timed as if the request issued the moment it
-			// fired at its PE.
-			done = ck.fireAt + ar.Latency
-		}
-		if s.cfg.MemMode == MemSerial {
-			if start < s.serialEnd {
-				start = s.serialEnd
-			}
+		var done int64
+		if s.cfg.MemMode == MemSpec && ck.spec != specNone {
+			done = s.specCommitLoad(&ck, r)
+		} else {
+			start := s.bufIssueTime(buf)
+			ar := s.memsys.Access(buf, clampAddr(r.Addr, len(s.memImage)), false)
 			done = start + ar.Latency
-			s.serialEnd = done + s.serialGap()
+			if s.cfg.MemMode == MemIdeal {
+				// Oracle ordering: timed as if the request issued the
+				// moment it fired at its PE.
+				done = ck.fireAt + ar.Latency
+			}
+			if s.cfg.MemMode == MemSerial {
+				if start < s.serialEnd {
+					start = s.serialEnd
+				}
+				done = start + ar.Latency
+				s.serialEnd = done + s.serialGap()
+			}
 		}
 		var v int64
 		if r.Addr >= 0 && r.Addr < int64(len(s.memImage)) {
@@ -1574,13 +1728,17 @@ func (s *sim) issueMem(r *waveorder.Request) {
 			s.pushToken(s.shardFor(dstPE), arr, ck.fn, d, ck.tag, v)
 		}
 	case isa.MemStore:
-		start := s.bufIssueTime(buf)
-		ar := s.memsys.Access(buf, clampAddr(r.Addr, len(s.memImage)), true)
-		if s.cfg.MemMode == MemSerial {
-			if start < s.serialEnd {
-				start = s.serialEnd
+		if s.cfg.MemMode == MemSpec {
+			s.specCommitStore(&ck, r)
+		} else {
+			start := s.bufIssueTime(buf)
+			ar := s.memsys.Access(buf, clampAddr(r.Addr, len(s.memImage)), true)
+			if s.cfg.MemMode == MemSerial {
+				if start < s.serialEnd {
+					start = s.serialEnd
+				}
+				s.serialEnd = start + ar.Latency + s.serialGap()
 			}
-			s.serialEnd = start + ar.Latency + s.serialGap()
 		}
 		if r.Addr >= 0 && r.Addr < int64(len(s.memImage)) {
 			s.memImage[r.Addr] = r.Value

@@ -114,7 +114,7 @@ func TestAllMemoryModesAgreeFunctionally(t *testing.T) {
 	}
 	wp := compileSource(t, src)
 	var cycles []int64
-	for _, mode := range []MemoryMode{MemOrdered, MemSerial, MemIdeal} {
+	for _, mode := range []MemoryMode{MemOrdered, MemSerial, MemIdeal, MemSpec} {
 		cfg := DefaultConfig(1, 1)
 		cfg.MemMode = mode
 		pol := mustPol(placement.NewDynamicSnake(cfg.Machine))
@@ -134,6 +134,11 @@ func TestAllMemoryModesAgreeFunctionally(t *testing.T) {
 	}
 	if cycles[2] > cycles[0] {
 		t.Errorf("ideal (%d cycles) slower than wave-ordered (%d)", cycles[2], cycles[0])
+	}
+	// Speculation can only lose cycles to squash replays, never to extra
+	// serialization, so it must stay well inside the serialized bound.
+	if cycles[3] > cycles[1] {
+		t.Errorf("spec (%d cycles) slower than serialized (%d)", cycles[3], cycles[1])
 	}
 }
 
@@ -244,7 +249,8 @@ func TestFuelExhaustion(t *testing.T) {
 }
 
 func TestMemoryModeString(t *testing.T) {
-	if MemOrdered.String() != "wave-ordered" || MemSerial.String() != "serialized" || MemIdeal.String() != "ideal" {
+	if MemOrdered.String() != "wave-ordered" || MemSerial.String() != "serialized" ||
+		MemIdeal.String() != "ideal" || MemSpec.String() != "spec" {
 		t.Error("MemoryMode strings wrong")
 	}
 }

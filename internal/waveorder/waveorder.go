@@ -234,6 +234,14 @@ type Engine struct {
 	// trace records with simulated time.
 	tr    *trace.Tracer
 	clock func() int64
+
+	// Retirement hooks (nil when disabled). onWaveDone fires when a
+	// wave's last chain slot issues, before the context's wave counter
+	// advances; onCtxEnd fires when a context's MemEnd issues, before
+	// the context state is released. Speculative memory modes use them
+	// as the transaction-epoch commit points.
+	onWaveDone func(ctx, wave uint32)
+	onCtxEnd   func(ctx uint32)
 }
 
 // Stats counts ordering-engine activity.
@@ -289,6 +297,18 @@ func (e *Engine) Reset(rootCtx uint32) {
 // (the hosting pool is expected to be reset alongside the engine). Pass
 // nil to disable recycling.
 func (e *Engine) SetReleaser(f func(*Request)) { e.release = f }
+
+// SetRetireHooks installs the retirement callbacks: waveDone fires once
+// per completed wave (its last chain slot has issued) with the context id
+// and the wave number just retired; ctxEnd fires once per context whose
+// MemEnd has issued. Both run synchronously inside the issue drain, so
+// they observe every earlier operation already issued and none later —
+// the commit point a transactional memory epoch needs. Hooks survive
+// Reset, like the issue callback and releaser. Pass nil to disable.
+func (e *Engine) SetRetireHooks(waveDone func(ctx, wave uint32), ctxEnd func(ctx uint32)) {
+	e.onWaveDone = waveDone
+	e.onCtxEnd = ctxEnd
+}
 
 // newCtxState takes a context from the freelist (or allocates one) and
 // initializes it for the given id.
@@ -478,6 +498,9 @@ func (e *Engine) issueOne(c *ctxState, r *Request) error {
 		} else {
 			e.top = nil
 		}
+		if e.onCtxEnd != nil {
+			e.onCtxEnd(c.id)
+		}
 		e.releaseCtx(c)
 		e.recycle(r)
 		return nil
@@ -506,6 +529,9 @@ func (e *Engine) completeWave(c *ctxState) {
 	e.stats.WavesDone++
 	if e.tr != nil {
 		e.tr.WaveDone(e.clock(), c.id, c.curWave)
+	}
+	if e.onWaveDone != nil {
+		e.onWaveDone(c.id, c.curWave)
 	}
 	c.curWave++
 	c.hasLast = false

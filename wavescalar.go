@@ -237,7 +237,8 @@ type SimConfig struct {
 	PEStore int
 	// InputQueue is the matching-table capacity before spills (default 64).
 	InputQueue int
-	// MemoryMode is "wave-ordered" (default), "serialized", or "ideal".
+	// MemoryMode is "wave-ordered" (default), "serialized", "ideal", or
+	// "spec" (speculative transactional wave-ordered memory).
 	MemoryMode string
 	// L1Words overrides the per-cluster L1 size in 64-bit words.
 	L1Words int64
@@ -319,16 +320,11 @@ func (p *Program) Simulate(sc SimConfig) (SimResult, error) {
 		sc.InputQueue = 64
 	}
 	cfg.InputQueue = sc.InputQueue
-	switch sc.MemoryMode {
-	case "", "wave-ordered":
-		cfg.MemMode = wavecache.MemOrdered
-	case "serialized":
-		cfg.MemMode = wavecache.MemSerial
-	case "ideal":
-		cfg.MemMode = wavecache.MemIdeal
-	default:
-		return SimResult{}, fmt.Errorf("wavescalar: unknown memory mode %q", sc.MemoryMode)
+	mm, err := wavecache.ParseMemoryMode(sc.MemoryMode)
+	if err != nil {
+		return SimResult{}, fmt.Errorf("wavescalar: %v", err)
 	}
+	cfg.MemMode = mm
 	if sc.L1Words != 0 {
 		cfg.Mem.L1.SizeWords = sc.L1Words
 	}
